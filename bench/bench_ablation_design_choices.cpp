@@ -1,0 +1,76 @@
+// Ablations of DESIGN.md's key design choices (not a paper figure).
+//
+// 1. Classifier: SVM (paper) vs kNN baseline.
+// 2. Good-subcarrier count P.
+// 3. Antenna-pair set: reference pair only vs all three (cross-pair gamma
+//    recovery).
+// 4. Effective-medium kappa sensitivity (the main substitution parameter).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+    using namespace wimi;
+    bench::print_header(
+        "Ablations", "design choices of this reproduction",
+        "(engineering bench; no corresponding paper figure)");
+
+    {
+        TextTable table({"classifier", "10-liquid accuracy"});
+        for (const auto& [name, kind] :
+             std::vector<std::pair<std::string, core::ClassifierKind>>{
+                 {"SVM (paper)", core::ClassifierKind::kSvm},
+                 {"kNN (k=5)", core::ClassifierKind::kKnn}}) {
+            auto config = bench::standard_experiment();
+            config.wimi.classifier = kind;
+            table.add_row({name, format_percent(bench::run_accuracy(config))});
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+
+    {
+        TextTable table({"good subcarriers P", "10-liquid accuracy"});
+        for (const std::size_t p : {1u, 2u, 4u, 8u}) {
+            auto config = bench::standard_experiment();
+            config.wimi.good_subcarrier_count = p;
+            table.add_row({std::to_string(p),
+                           format_percent(bench::run_accuracy(config))});
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+
+    {
+        TextTable table({"antenna pairs used", "10-liquid accuracy"});
+        for (const auto& [name, pairs] :
+             std::vector<std::pair<std::string,
+                                   std::vector<core::AntennaPair>>>{
+                 {"reference pair only", {{0, 1}}},
+                 {"all three (cross-pair gamma)",
+                  {{0, 1}, {1, 2}, {0, 2}}}}) {
+            auto config = bench::standard_experiment();
+            config.wimi.pairs = pairs;
+            table.add_row({name, format_percent(bench::run_accuracy(config))});
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+
+    {
+        TextTable table({"effective-medium kappa", "10-liquid accuracy"});
+        for (const double kappa : {0.033, 0.050, 0.066, 0.080}) {
+            auto config = bench::standard_experiment();
+            config.scenario.effective_path_fraction = kappa;
+            table.add_row({format_double(kappa, 3),
+                           format_percent(bench::run_accuracy(config))});
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\nExpected shape: SVM >= kNN; accuracy saturates with P; "
+                 "three pairs beat one; kappa works across a broad range "
+                 "(the substitution is not knife-edge tuned).\n";
+    return 0;
+}

@@ -1,0 +1,80 @@
+// Fig. 7: amplitude denoising — median vs slide vs Butterworth vs the
+// proposed wavelet-correlation method.
+//
+// The paper shows the proposed method tracking the clean amplitude best.
+// This bench corrupts a known clean amplitude series with the impairment
+// model's outliers + impulses and reports the residual RMSE of each
+// filter against the clean truth (lower is better).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "dsp/filters.hpp"
+#include "dsp/stats.hpp"
+#include "dsp/wavelet_denoise.hpp"
+
+int main() {
+    using namespace wimi;
+    bench::print_header(
+        "Fig. 7", "amplitude denoising method comparison",
+        "the proposed wavelet-correlation denoiser removes outliers and "
+        "impulses better than median / slide / Butterworth filters");
+
+    // Clean CSI-like amplitude: stable level with slow environmental
+    // drift, plus Gaussian measurement noise, outliers and impulses.
+    Rng rng(2024);
+    const std::size_t n = 1024;
+    std::vector<double> clean(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        clean[i] = 5.0 + 0.25 * std::sin(kTwoPi * static_cast<double>(i) /
+                                         400.0);
+    }
+    std::vector<double> noisy = clean;
+    for (std::size_t i = 0; i < n; ++i) {
+        noisy[i] += rng.gaussian(0.0, 0.05);
+    }
+    // Interference bursts span several consecutive packets (Bluetooth /
+    // microwave-oven interference lasts far longer than one 10 ms CSI
+    // sample), so impulses arrive in runs of 1-6 samples.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (rng.bernoulli(0.008)) {
+            const std::size_t run = 1 + rng.uniform_index(6);
+            const double magnitude = rng.uniform(2.5, 7.0) *
+                                     (rng.bernoulli(0.5) ? 1.0 : -0.6);
+            for (std::size_t j = i; j < std::min(i + run, n); ++j) {
+                noisy[j] += magnitude;
+            }
+            i += run;
+        } else if (rng.bernoulli(0.008)) {  // AGC outlier
+            noisy[i] *= rng.uniform(2.0, 3.5);
+        }
+    }
+
+    const auto median_out = dsp::median_filter(noisy, 5);
+    const auto slide_out = dsp::sliding_mean_filter(noisy, 5);
+    const dsp::ButterworthLowPass butterworth(4, 5.0, 100.0);
+    const auto butter_out = butterworth.filtfilt(noisy);
+    auto proposed = dsp::reject_sigma_outliers(noisy, 3.0);
+    proposed = dsp::wavelet_correlation_denoise(proposed);
+
+    TextTable table({"method", "RMSE vs clean", "improvement vs raw"});
+    const double raw_rmse = dsp::rmse(noisy, clean);
+    const auto add = [&](const std::string& name,
+                         const std::vector<double>& out) {
+        const double e = dsp::rmse(out, clean);
+        table.add_row({name, format_double(e, 4),
+                       format_double(raw_rmse / e, 2) + "x"});
+    };
+    table.add_row({"raw (no filtering)", format_double(raw_rmse, 4),
+                   "1.00x"});
+    add("median filter", median_out);
+    add("slide (mean) filter", slide_out);
+    add("Butterworth filter", butter_out);
+    add("proposed (3-sigma + wavelet correlation)", proposed);
+    table.print(std::cout);
+
+    std::cout << "\nExpected shape: the proposed method gives the lowest "
+                 "RMSE (paper Fig. 7d tracks the signal best).\n";
+    return 0;
+}

@@ -1,0 +1,45 @@
+// Fig. 10: phase-difference and amplitude-ratio variance per antenna
+// combination.
+//
+// With three receiver antennas there are three usable pairs, and their
+// stabilities differ — the basis of WiMi's antenna pair selection
+// (Sec. III-F).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/antenna_selection.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+    using namespace wimi;
+    bench::print_header(
+        "Fig. 10", "variance per antenna combination",
+        "phase-difference and amplitude-ratio variances differ across the "
+        "antenna pairs (1,2), (1,3), (2,3)");
+
+    sim::ScenarioConfig setup;
+    setup.environment = rf::Environment::kLab;
+    const sim::Scenario scenario(setup);
+    auto session = scenario.make_session(13);
+    const auto series = session.capture(scenario.scene(nullptr), 400);
+
+    const auto ranking = core::rank_antenna_pairs(series);
+
+    TextTable table({"antenna pair", "mean phase-diff variance",
+                     "mean amplitude-ratio variance", "combined score"});
+    for (const auto& entry : ranking) {
+        table.add_row(
+            {"antennas " + std::to_string(entry.pair.first + 1) + "," +
+                 std::to_string(entry.pair.second + 1),
+             format_double(entry.mean_phase_variance, 4),
+             format_double(entry.mean_amplitude_variance, 4),
+             format_double(entry.score, 3)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nExpected shape: the three pairs have visibly different "
+                 "variances (rows are sorted best-first); WiMi senses on "
+                 "the top row's pair.\n";
+    return 0;
+}

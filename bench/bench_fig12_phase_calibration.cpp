@@ -1,0 +1,58 @@
+// Fig. 12: the three phase-calibration stages.
+//
+// The paper shows the angular spread collapsing from the full circle
+// (raw phases) to ~18 degrees (antenna-pair differencing) to ~5 degrees
+// (good-subcarrier selection) in the library environment.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/phase_calibration.hpp"
+#include "core/subcarrier_selection.hpp"
+#include "dsp/circular.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+    using namespace wimi;
+    bench::print_header(
+        "Fig. 12", "phase calibration stages (library environment)",
+        "raw phases span [0, 2*pi); antenna differencing compresses the "
+        "spread to ~18 deg; good subcarriers compress it to ~5 deg");
+
+    sim::ScenarioConfig setup;
+    setup.environment = rf::Environment::kLibrary;
+    const sim::Scenario scenario(setup);
+    auto session = scenario.make_session(17);
+    // Paper procedure: 10 s of CSI per trial at 100 Hz.
+    const auto series = session.capture(scenario.scene(nullptr), 1000);
+
+    // Stage 1: raw phase at an arbitrary subcarrier.
+    const auto raw = series.phase_series(0, 14);
+    // Stage 2: phase difference at the same (arbitrary) subcarrier.
+    const auto vars = core::subcarrier_variances(series, {0, 1});
+    std::size_t worst = 0;
+    for (std::size_t k = 0; k < vars.size(); ++k) {
+        if (vars[k] > vars[worst]) {
+            worst = k;
+        }
+    }
+    const auto diff_any =
+        core::phase_difference_series(series, {0, 1}, worst);
+    // Stage 3: phase difference at the best subcarrier.
+    const auto good = core::select_good_subcarriers(vars, 1);
+    const auto diff_good =
+        core::phase_difference_series(series, {0, 1}, good.front());
+
+    TextTable table({"stage", "95% angular spread (deg)"});
+    table.add_row({"raw phase",
+                   format_double(dsp::angular_spread_deg(raw), 1)});
+    table.add_row({"+ antenna-pair difference (worst subcarrier)",
+                   format_double(dsp::angular_spread_deg(diff_any), 1)});
+    table.add_row({"+ good-subcarrier selection",
+                   format_double(dsp::angular_spread_deg(diff_good), 1)});
+    table.print(std::cout);
+
+    std::cout << "\nExpected shape: each stage shrinks the spread by a "
+                 "large factor (paper: 360 -> ~18 -> ~5 deg).\n";
+    return 0;
+}

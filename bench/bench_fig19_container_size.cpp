@@ -1,0 +1,39 @@
+// Fig. 19: identification accuracy vs container size.
+//
+// The paper tests glass beakers of 14.3, 11, 8.9, 6.1 and 3.2 cm
+// diameter with pure water, Pepsi and vinegar: accuracy holds in the
+// 91-95% range down to 8.9 cm and collapses at 3.2 cm, where the beaker
+// is smaller than the 6 cm wavelength and diffraction dominates.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+    using namespace wimi;
+    bench::print_header(
+        "Fig. 19", "accuracy vs container size",
+        "~95-91% from 14.3 cm down to 8.9 cm; clear degradation below "
+        "the 6 cm wavelength (3.2 cm beaker)");
+
+    const std::vector<std::pair<std::string, double>> sizes = {
+        {"Size 1 (14.3 cm)", 0.143}, {"Size 2 (11.0 cm)", 0.110},
+        {"Size 3 (8.9 cm)", 0.089},  {"Size 4 (6.1 cm)", 0.061},
+        {"Size 5 (3.2 cm)", 0.032}};
+
+    TextTable table({"container", "accuracy (water/Pepsi/vinegar)"});
+    for (const auto& [label, diameter] : sizes) {
+        auto config = bench::standard_experiment(rf::Environment::kLab);
+        config.liquids = {rf::Liquid::kPureWater, rf::Liquid::kPepsi,
+                          rf::Liquid::kVinegar};
+        config.scenario.beaker_diameter_m = diameter;
+        config.scenario.container = rf::ContainerMaterial::kGlass;
+        table.add_row({label,
+                       format_percent(bench::run_accuracy(config))});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nExpected shape: roughly flat for the three largest "
+                 "sizes, degraded for the sub-wavelength beakers.\n";
+    return 0;
+}

@@ -1,0 +1,75 @@
+// The paper's stated limitation: mixed materials (Discussion, Sec. VI).
+//
+// "We cannot identify the target's material if it is comprised of two or
+// more materials." This bench demonstrates why: a water/liquor mixture's
+// feature slides continuously between the endpoints, so a classifier
+// trained on pure liquids assigns mixtures to whichever pure class is
+// nearest — there is no 'mixture' answer in the feature space.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/wimi.hpp"
+#include "dsp/stats.hpp"
+#include "rf/mixture.hpp"
+#include "rf/propagation.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+    using namespace wimi;
+    bench::print_header(
+        "Limitation", "mixtures are mis-assigned to pure classes (Sec. VI)",
+        "WiMi cannot identify multi-material targets; this reproduction "
+        "shows the failure mode explicitly");
+
+    sim::ScenarioConfig setup;
+    setup.environment = rf::Environment::kLab;
+    const sim::Scenario scenario(setup);
+    core::Wimi wimi;
+    wimi.calibrate(scenario.capture_reference(71));
+
+    // Train on the pure endpoints (plus a third distractor).
+    Rng rng(19);
+    for (const rf::Liquid liquid :
+         {rf::Liquid::kPureWater, rf::Liquid::kLiquor, rf::Liquid::kMilk}) {
+        for (int rep = 0; rep < 10; ++rep) {
+            const auto m =
+                scenario.capture_measurement(liquid, rng.next_u64());
+            wimi.enroll(rf::liquid_name(liquid), m.baseline, m.target);
+        }
+    }
+    wimi.train();
+
+    const auto& water = rf::material_for(rf::Liquid::kPureWater);
+    const auto& liquor = rf::material_for(rf::Liquid::kLiquor);
+
+    TextTable table({"target", "theoretical Omega", "measured Omega",
+                     "classified as"});
+    for (const double fraction : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        const rf::MixedMaterial mix(water, liquor, fraction,
+                                    csi::kDefaultCenterFrequencyHz);
+        auto session = scenario.make_session(rng.next_u64());
+        sim::MeasurementPair m;
+        m.baseline =
+            session.capture(scenario.scene(nullptr), setup.packets);
+        m.target = session.capture(scenario.scene(&mix.properties()),
+                                   setup.packets);
+        const auto features = wimi.features(m.baseline, m.target);
+        const auto verdict = wimi.identify(m.baseline, m.target);
+        table.add_row(
+            {mix.name(),
+             format_double(rf::theoretical_material_feature(
+                               mix.properties(),
+                               csi::kDefaultCenterFrequencyHz),
+                           3),
+             format_double(dsp::mean(features), 3),
+             verdict.material_name});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nExpected shape: the feature interpolates smoothly with "
+                 "the mixing fraction; intermediate mixtures are forced "
+                 "into one of the pure classes (the paper's limitation).\n";
+    return 0;
+}

@@ -1,0 +1,114 @@
+// Engineering micro-benchmarks (google-benchmark): throughput of the
+// pipeline stages. Not a paper figure — the paper runs at 100 packets/s,
+// and these numbers show the pipeline is orders of magnitude faster than
+// real time on commodity CPUs.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/material_feature.hpp"
+#include "core/subcarrier_selection.hpp"
+#include "core/wimi.hpp"
+#include "dsp/wavelet_denoise.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace wimi;
+
+const sim::Scenario& lab_scenario() {
+    static const sim::Scenario scenario{[] {
+        sim::ScenarioConfig config;
+        config.environment = rf::Environment::kLab;
+        return config;
+    }()};
+    return scenario;
+}
+
+void BM_CaptureSimulation(benchmark::State& state) {
+    const auto& scenario = lab_scenario();
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            scenario.capture_measurement(rf::Liquid::kMilk, seed++));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 40);
+}
+BENCHMARK(BM_CaptureSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_WaveletDenoise(benchmark::State& state) {
+    Rng rng(3);
+    std::vector<double> series(static_cast<std::size_t>(state.range(0)));
+    for (double& v : series) {
+        v = 5.0 + rng.gaussian(0.0, 0.1);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dsp::wavelet_correlation_denoise(series));
+    }
+}
+BENCHMARK(BM_WaveletDenoise)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SubcarrierSelection(benchmark::State& state) {
+    const auto series = lab_scenario().capture_reference(9, 100);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::select_good_subcarriers(series, {0, 1}, 4));
+    }
+}
+BENCHMARK(BM_SubcarrierSelection)->Unit(benchmark::kMillisecond);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+    const auto& scenario = lab_scenario();
+    const auto m = scenario.capture_measurement(rf::Liquid::kPepsi, 77);
+    const std::vector<core::AntennaPair> pairs = {{0, 1}, {1, 2}, {0, 2}};
+    const std::vector<std::size_t> subcarriers = {5, 12, 22, 27};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::extract_feature_vector(
+            m.baseline, m.target, pairs, subcarriers, {}));
+    }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_IdentifyEndToEnd(benchmark::State& state) {
+    const auto& scenario = lab_scenario();
+    core::Wimi wimi;
+    wimi.calibrate(scenario.capture_reference(5));
+    Rng rng(11);
+    for (const rf::Liquid liquid :
+         {rf::Liquid::kPureWater, rf::Liquid::kMilk, rf::Liquid::kHoney}) {
+        for (int rep = 0; rep < 6; ++rep) {
+            const auto m =
+                scenario.capture_measurement(liquid, rng.next_u64());
+            wimi.enroll(rf::liquid_name(liquid), m.baseline, m.target);
+        }
+    }
+    wimi.train();
+    const auto unknown =
+        scenario.capture_measurement(rf::Liquid::kMilk, 999);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            wimi.identify(unknown.baseline, unknown.target));
+    }
+}
+BENCHMARK(BM_IdentifyEndToEnd);
+
+void BM_SvmTraining(benchmark::State& state) {
+    Rng rng(13);
+    ml::Dataset data(8);
+    for (int label = 0; label < 10; ++label) {
+        for (int i = 0; i < 20; ++i) {
+            std::vector<double> x(8);
+            for (double& v : x) {
+                v = rng.gaussian(static_cast<double>(label), 0.3);
+            }
+            data.add(x, label);
+        }
+    }
+    for (auto _ : state) {
+        ml::MulticlassSvm svm;
+        svm.train(data);
+        benchmark::DoNotOptimize(svm);
+    }
+}
+BENCHMARK(BM_SvmTraining)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,41 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Every binary regenerates one figure of the paper's evaluation on the
+// simulated substrate and prints the measured rows/series next to the
+// values the paper reports, so the *shape* comparison is immediate.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "common/table.hpp"
+#include "sim/harness.hpp"
+
+namespace wimi::bench {
+
+/// Prints the standard figure header.
+inline void print_header(std::string_view figure, std::string_view title,
+                         std::string_view paper_summary) {
+    std::cout << "=== WiMi reproduction: " << figure << " — " << title
+              << " ===\n";
+    std::cout << "Paper reports: " << paper_summary << "\n\n";
+}
+
+/// The canonical evaluation experiment of the paper: 10 liquids, 20
+/// repetitions, default deployment. Benches tweak fields as needed.
+inline sim::ExperimentConfig standard_experiment(
+    rf::Environment environment = rf::Environment::kLab) {
+    sim::ExperimentConfig config;
+    config.scenario.environment = environment;
+    config.repetitions = 20;
+    config.seed = 7;
+    return config;
+}
+
+/// Runs an identification experiment and returns overall accuracy.
+inline double run_accuracy(const sim::ExperimentConfig& config) {
+    return sim::run_identification_experiment(config).accuracy;
+}
+
+}  // namespace wimi::bench

@@ -1,0 +1,89 @@
+// Freshness monitor: detect changed liquid without opening the bottle.
+//
+// The paper's introduction: "expired liquid such as milk can be detected
+// without requiring to open the bottle or taste it." Spoilage changes a
+// liquid's ionic content and hence its dielectric loss; this example
+// models fresh vs soured milk as two dielectric states, enrolls both, and
+// monitors a bottle over simulated days. It also demonstrates working with
+// the material feature directly (Omega trend over time) rather than only
+// through the classifier.
+#include <iostream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/material_feature.hpp"
+#include "core/wimi.hpp"
+#include "dsp/stats.hpp"
+#include "rf/material.hpp"
+#include "rf/propagation.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace wimi;
+
+// Souring milk: lactose ferments to lactic acid, raising the ionic
+// conductivity day by day. Day 0 is the library's stock milk model.
+rf::MaterialProperties milk_at_day(int day) {
+    rf::MaterialProperties milk = rf::material_for(rf::Liquid::kMilk);
+    milk.conductivity += 0.45 * static_cast<double>(day);
+    return milk;
+}
+
+}  // namespace
+
+int main() {
+    std::cout << "WiMi freshness monitor demo\n"
+              << "---------------------------\n";
+
+    sim::ScenarioConfig setup;
+    setup.environment = rf::Environment::kLab;
+    const sim::Scenario scenario(setup);
+
+    core::Wimi wimi;
+    wimi.calibrate(scenario.capture_reference(3001));
+
+    // Enroll the two states the fridge cares about: fresh (day 0) and
+    // spoiled (day 4+). Custom dielectric states are measured by placing
+    // the material into the scene directly.
+    Rng rng(13);
+    const auto capture_state = [&](const rf::MaterialProperties& state,
+                                   std::uint64_t seed) {
+        auto session = scenario.make_session(seed);
+        sim::MeasurementPair m;
+        m.baseline = session.capture(scenario.scene(nullptr),
+                                     setup.packets);
+        m.target =
+            session.capture(scenario.scene(&state), setup.packets);
+        return m;
+    };
+
+    const auto fresh = milk_at_day(0);
+    const auto spoiled = milk_at_day(4);
+    for (int rep = 0; rep < 10; ++rep) {
+        const auto mf = capture_state(fresh, rng.next_u64());
+        wimi.enroll("Fresh milk", mf.baseline, mf.target);
+        const auto ms = capture_state(spoiled, rng.next_u64());
+        wimi.enroll("Spoiled milk", ms.baseline, ms.target);
+    }
+    wimi.train();
+
+    // Monitor the same bottle across five days: print the mean material
+    // feature (it drifts with conductivity) and the classifier verdict.
+    std::cout << "\nday | theoretical Omega | measured Omega | verdict\n";
+    std::cout << "----+-------------------+----------------+--------\n";
+    for (int day = 0; day <= 4; ++day) {
+        const auto state = milk_at_day(day);
+        const auto m = capture_state(state, rng.next_u64());
+        const auto features = wimi.features(m.baseline, m.target);
+        const auto result = wimi.identify(m.baseline, m.target);
+        std::printf(" %d  |       %.3f       |     %.3f      | %s\n", day,
+                    rf::theoretical_material_feature(
+                        state, csi::kDefaultCenterFrequencyHz),
+                    dsp::mean(features), result.material_name.c_str());
+    }
+    std::cout << "\nExpected: the measured feature drifts upward with "
+                 "spoilage and the verdict flips to 'Spoiled milk' by "
+                 "day 3-4.\n";
+    return 0;
+}

@@ -1,0 +1,13 @@
+#include "common/error.hpp"
+
+namespace wimi {
+
+void ensure(bool condition, std::string_view message) {
+    if (!condition) {
+        throw Error(std::string(message));
+    }
+}
+
+void fail(std::string_view message) { throw Error(std::string(message)); }
+
+}  // namespace wimi

@@ -1,0 +1,29 @@
+// Error handling for the WiMi library.
+//
+// All precondition and invariant failures at public API boundaries raise
+// wimi::Error (a std::runtime_error) carrying a human-readable message.
+// Internal hot paths use plain asserts via ensure() only where the cost is
+// negligible relative to the surrounding computation.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace wimi {
+
+/// Exception type thrown by every WiMi public API on contract violation.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws wimi::Error with `message` when `condition` is false.
+///
+/// Usage: ensure(!samples.empty(), "phase calibration needs >= 1 packet");
+void ensure(bool condition, std::string_view message);
+
+/// Throws wimi::Error describing an out-of-range argument.
+[[noreturn]] void fail(std::string_view message);
+
+}  // namespace wimi

@@ -1,0 +1,110 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace wimi {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+        word = splitmix64(s);
+    }
+}
+
+std::uint64_t Rng::next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double Rng::uniform() {
+    // 53 top bits -> double in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+    ensure(lo <= hi, "Rng::uniform: lo must be <= hi");
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+    ensure(n > 0, "Rng::uniform_index: n must be positive");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = n * (UINT64_MAX / n);
+    std::uint64_t draw = next_u64();
+    while (draw >= limit) {
+        draw = next_u64();
+    }
+    return draw % n;
+}
+
+double Rng::gaussian() {
+    if (has_spare_gaussian_) {
+        has_spare_gaussian_ = false;
+        return spare_gaussian_;
+    }
+    // Box–Muller; regenerate until u1 is nonzero so log() is finite.
+    double u1 = uniform();
+    while (u1 <= 0.0) {
+        u1 = uniform();
+    }
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * M_PI * u2;
+    spare_gaussian_ = radius * std::sin(angle);
+    has_spare_gaussian_ = true;
+    return radius * std::cos(angle);
+}
+
+double Rng::gaussian(double mean, double stddev) {
+    return mean + stddev * gaussian();
+}
+
+bool Rng::bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+}
+
+double Rng::exponential(double mean) {
+    ensure(mean > 0.0, "Rng::exponential: mean must be positive");
+    double u = uniform();
+    while (u <= 0.0) {
+        u = uniform();
+    }
+    return -mean * std::log(u);
+}
+
+void Rng::shuffle(std::vector<std::size_t>& indices) {
+    for (std::size_t i = indices.size(); i > 1; --i) {
+        const std::size_t j = static_cast<std::size_t>(uniform_index(i));
+        std::swap(indices[i - 1], indices[j]);
+    }
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace wimi

@@ -1,0 +1,59 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace wimi {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+    ensure(!header_.empty(), "TextTable: header must not be empty");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+    ensure(row.size() == header_.size(),
+           "TextTable: row width differs from header width");
+    rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& out) const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        widths[c] = header_[c].size();
+        for (const auto& row : rows_) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    const auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+                << row[c];
+        }
+        out << '\n';
+    };
+    print_row(header_);
+    std::size_t total = 0;
+    for (const auto w : widths) {
+        total += w + 2;
+    }
+    out << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) {
+        print_row(row);
+    }
+}
+
+std::string format_double(double value, int precision) {
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string format_percent(double fraction, int precision) {
+    return format_double(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace wimi

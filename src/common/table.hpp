@@ -1,0 +1,40 @@
+// Minimal fixed-width text table used by the benchmark harness to print the
+// rows/series each paper figure reports. Keeping presentation out of the
+// science modules keeps those modules testable.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wimi {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class TextTable {
+public:
+    /// Sets the header row. Column count of all later rows must match.
+    explicit TextTable(std::vector<std::string> header);
+
+    /// Appends a data row. Throws wimi::Error on column-count mismatch.
+    void add_row(std::vector<std::string> row);
+
+    /// Renders the table (header, rule, rows) to `out`.
+    void print(std::ostream& out) const;
+
+    /// Number of data rows currently held.
+    std::size_t row_count() const { return rows_.size(); }
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision, e.g. format_double(3.14159, 2)
+/// == "3.14".
+std::string format_double(double value, int precision);
+
+/// Formats a fraction in [0,1] as a percentage string, e.g. "96.0%".
+std::string format_percent(double fraction, int precision = 1);
+
+}  // namespace wimi

@@ -1,0 +1,123 @@
+#include "core/amplitude_denoising.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dsp/stats.hpp"
+
+namespace wimi::core {
+namespace {
+
+/// Variance of a series scaled to unit mean, so antennas with different
+/// absolute gains are comparable (as in the paper's Fig. 8 y-axis).
+double normalized_variance(std::span<const double> values) {
+    const double mu = dsp::mean(values);
+    if (mu == 0.0) {
+        return 0.0;
+    }
+    std::vector<double> scaled;
+    scaled.reserve(values.size());
+    for (const double v : values) {
+        scaled.push_back(v / mu);
+    }
+    return dsp::variance(scaled);
+}
+
+}  // namespace
+
+std::vector<double> denoise_amplitude_series(
+    std::span<const double> amplitudes,
+    const AmplitudeDenoiseConfig& config) {
+    ensure(!amplitudes.empty(), "denoise_amplitude_series: empty input");
+    auto cleaned =
+        dsp::reject_sigma_outliers(amplitudes, config.outlier_k_sigma);
+    if (config.remove_impulses &&
+        cleaned.size() >= 8) {  // wavelet stage needs a minimum length
+        cleaned = dsp::wavelet_correlation_denoise(cleaned, config.wavelet);
+        // Amplitudes are physically positive; the wavelet reconstruction
+        // may undershoot after removing a large negative impulse, so floor
+        // the output at a small fraction of the series median.
+        const double floor_value =
+            1e-3 * std::max(dsp::median(cleaned), 0.0) + 1e-12;
+        for (double& v : cleaned) {
+            v = std::max(v, floor_value);
+        }
+    }
+    return cleaned;
+}
+
+std::vector<double> denoised_amplitude_ratio(
+    const csi::CsiSeries& series, AntennaPair pair, std::size_t subcarrier,
+    const AmplitudeDenoiseConfig& config) {
+    const auto first =
+        denoise_amplitude_series(series.amplitude_series(pair.first,
+                                                         subcarrier),
+                                 config);
+    const auto second =
+        denoise_amplitude_series(series.amplitude_series(pair.second,
+                                                         subcarrier),
+                                 config);
+    std::vector<double> ratio(first.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        ensure(second[i] > 0.0,
+               "denoised_amplitude_ratio: nonpositive denominator");
+        ratio[i] = first[i] / second[i];
+    }
+    return ratio;
+}
+
+double mean_amplitude_ratio(const csi::CsiSeries& series, AntennaPair pair,
+                            std::size_t subcarrier,
+                            const AmplitudeDenoiseConfig& config) {
+    const auto ratio =
+        denoised_amplitude_ratio(series, pair, subcarrier, config);
+    return dsp::mean(ratio);
+}
+
+std::vector<bool> inlier_packet_mask(const csi::CsiSeries& series,
+                                     AntennaPair pair,
+                                     std::size_t subcarrier,
+                                     double k_sigma) {
+    ensure(!series.empty(), "inlier_packet_mask: empty series");
+    std::vector<bool> mask(series.packet_count(), true);
+    for (const std::size_t antenna : {pair.first, pair.second}) {
+        const auto amplitudes =
+            series.amplitude_series(antenna, subcarrier);
+        for (const std::size_t i :
+             dsp::sigma_outlier_indices(amplitudes, k_sigma)) {
+            mask[i] = false;
+        }
+    }
+    return mask;
+}
+
+AmplitudeVarianceReport amplitude_variance_report(
+    const csi::CsiSeries& series, AntennaPair pair) {
+    ensure(!series.empty(), "amplitude_variance_report: empty series");
+    AmplitudeVarianceReport report;
+    const std::size_t n_sc = series.subcarrier_count();
+    report.antenna_first.reserve(n_sc);
+    report.antenna_second.reserve(n_sc);
+    report.ratio.reserve(n_sc);
+    for (std::size_t k = 0; k < n_sc; ++k) {
+        const auto a1 = series.amplitude_series(pair.first, k);
+        const auto a2 = series.amplitude_series(pair.second, k);
+        report.antenna_first.push_back(normalized_variance(a1));
+        report.antenna_second.push_back(normalized_variance(a2));
+        // Packets whose reference amplitude quantized to zero (deep fade
+        // at int8 resolution) carry no ratio; skip them rather than fail.
+        std::vector<double> ratio;
+        ratio.reserve(a1.size());
+        for (std::size_t m = 0; m < a1.size(); ++m) {
+            if (a2[m] > 0.0) {
+                ratio.push_back(a1[m] / a2[m]);
+            }
+        }
+        report.ratio.push_back(ratio.empty() ? 0.0
+                                             : normalized_variance(ratio));
+    }
+    return report;
+}
+
+}  // namespace wimi::core

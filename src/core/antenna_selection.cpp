@@ -1,0 +1,56 @@
+#include "core/antenna_selection.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/amplitude_denoising.hpp"
+#include "core/subcarrier_selection.hpp"
+#include "dsp/stats.hpp"
+
+namespace wimi::core {
+
+std::vector<PairStability> rank_antenna_pairs(const csi::CsiSeries& series) {
+    ensure(!series.empty(), "rank_antenna_pairs: empty series");
+    ensure(series.antenna_count() >= 2,
+           "rank_antenna_pairs: need at least two antennas");
+
+    std::vector<PairStability> result;
+    for (const AntennaPair pair :
+         all_antenna_pairs(series.antenna_count())) {
+        PairStability s;
+        s.pair = pair;
+        const auto phase_vars = subcarrier_variances(series, pair);
+        s.mean_phase_variance = dsp::mean(phase_vars);
+        const auto amp_report = amplitude_variance_report(series, pair);
+        s.mean_amplitude_variance = dsp::mean(amp_report.ratio);
+        result.push_back(s);
+    }
+
+    // Normalize each variance kind by its across-pair mean before summing,
+    // so phase (rad^2) and amplitude (unit-mean ratio) are commensurate.
+    double phase_norm = 0.0;
+    double amp_norm = 0.0;
+    for (const auto& s : result) {
+        phase_norm += s.mean_phase_variance;
+        amp_norm += s.mean_amplitude_variance;
+    }
+    phase_norm = std::max(phase_norm / static_cast<double>(result.size()),
+                          1e-12);
+    amp_norm =
+        std::max(amp_norm / static_cast<double>(result.size()), 1e-12);
+    for (auto& s : result) {
+        s.score = s.mean_phase_variance / phase_norm +
+                  s.mean_amplitude_variance / amp_norm;
+    }
+    std::stable_sort(result.begin(), result.end(),
+                     [](const PairStability& a, const PairStability& b) {
+                         return a.score < b.score;
+                     });
+    return result;
+}
+
+AntennaPair select_best_pair(const csi::CsiSeries& series) {
+    return rank_antenna_pairs(series).front().pair;
+}
+
+}  // namespace wimi::core

@@ -1,0 +1,35 @@
+// Antenna pair selection (paper Sec. III-F, Figs. 10/21).
+//
+// With p receiver antennas there are p(p-1)/2 usable pairs, and their
+// phase-difference / amplitude-ratio stabilities differ (different
+// multipath exposure per element). WiMi ranks pairs by a combined
+// stability score and senses on the most stable pair.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/phase_calibration.hpp"
+#include "csi/frame.hpp"
+
+namespace wimi::core {
+
+/// Stability summary of one antenna pair over a capture.
+struct PairStability {
+    AntennaPair pair;
+    double mean_phase_variance = 0.0;      ///< Eq. 7 averaged over SCs
+    double mean_amplitude_variance = 0.0;  ///< unit-mean ratio variance
+    /// Combined score (lower is better): sum of the two variances after
+    /// scaling each by the across-pair mean of its kind, so neither
+    /// dominates by units.
+    double score = 0.0;
+};
+
+/// Computes stability for every antenna pair of the series.
+/// Requires >= 2 antennas and a non-empty series.
+std::vector<PairStability> rank_antenna_pairs(const csi::CsiSeries& series);
+
+/// The most stable antenna pair of the capture.
+AntennaPair select_best_pair(const csi::CsiSeries& series);
+
+}  // namespace wimi::core

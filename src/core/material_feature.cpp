@@ -1,0 +1,272 @@
+#include "core/material_feature.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "dsp/circular.hpp"
+#include "dsp/stats.hpp"
+
+namespace wimi::core {
+namespace {
+
+/// Coherent estimate of the stable antenna ratio at one subcarrier.
+///
+/// Each packet's complex ratio r_m = H_first / H_second cancels the
+/// board-common phase errors of Eq. 5 (CFO, SFO, PBD) exactly, like the
+/// paper's phase differencing, while keeping phase and amplitude coupled.
+/// Averaging r_m *in the complex domain* then suppresses multipath
+/// contributions with fluctuating phases — they average toward zero —
+/// where averaging |r| and arg(r) separately would leave a multipath-
+/// dependent bias on the amplitude ratio. arg() of the result is the
+/// calibrated phase difference, abs() the stable amplitude ratio.
+///
+/// With `denoise` enabled (the pipeline default) the estimator applies the
+/// paper's two cleaning stages first: packets whose amplitude is a 3-sigma
+/// outlier on either antenna are dropped (impulse bursts corrupt the whole
+/// complex sample), and the surviving ratio series is run through the
+/// wavelet-correlation denoiser component-wise.
+Complex mean_complex_ratio(const csi::CsiSeries& series, AntennaPair pair,
+                           std::size_t subcarrier,
+                           const AmplitudeDenoiseConfig& denoise,
+                           bool use_denoising) {
+    ensure(!series.empty(), "mean_complex_ratio: empty series");
+    std::vector<Complex> ratios;
+    ratios.reserve(series.packet_count());
+
+    std::vector<bool> mask(series.packet_count(), true);
+    if (use_denoising) {
+        mask = inlier_packet_mask(series, pair, subcarrier,
+                                  denoise.outlier_k_sigma);
+    }
+    // Packets whose reference-antenna CSI quantized to exactly zero (deep
+    // fade at int8 resolution) carry no usable ratio and are skipped like
+    // outliers.
+    const auto usable = [&](std::size_t m) {
+        return std::abs(series.frames[m].at(pair.second, subcarrier)) > 0.0;
+    };
+    for (std::size_t m = 0; m < series.packet_count(); ++m) {
+        if (!mask[m] || !usable(m)) {
+            continue;
+        }
+        const Complex h1 = series.frames[m].at(pair.first, subcarrier);
+        const Complex h2 = series.frames[m].at(pair.second, subcarrier);
+        ratios.push_back(h1 / h2);
+    }
+    // Degenerate capture where every packet was flagged: fall back to the
+    // unmasked series rather than failing the measurement.
+    if (ratios.empty()) {
+        for (std::size_t m = 0; m < series.packet_count(); ++m) {
+            if (usable(m)) {
+                ratios.push_back(
+                    series.frames[m].at(pair.first, subcarrier) /
+                    series.frames[m].at(pair.second, subcarrier));
+            }
+        }
+    }
+    ensure(!ratios.empty(),
+           "mean_complex_ratio: no packet has nonzero reference amplitude");
+
+    if (use_denoising && denoise.remove_impulses && ratios.size() >= 8) {
+        std::vector<double> re(ratios.size());
+        std::vector<double> im(ratios.size());
+        for (std::size_t i = 0; i < ratios.size(); ++i) {
+            re[i] = ratios[i].real();
+            im[i] = ratios[i].imag();
+        }
+        re = dsp::wavelet_correlation_denoise(re, denoise.wavelet);
+        im = dsp::wavelet_correlation_denoise(im, denoise.wavelet);
+        for (std::size_t i = 0; i < ratios.size(); ++i) {
+            ratios[i] = Complex(re[i], im[i]);
+        }
+    }
+
+    Complex sum(0.0, 0.0);
+    for (const Complex r : ratios) {
+        sum += r;
+    }
+    return sum / static_cast<double>(ratios.size());
+}
+
+}  // namespace
+
+int estimate_gamma(double delta_theta_rad, double delta_psi,
+                   const GammaConfig& config) {
+    ensure(config.max_wraps >= 0, "estimate_gamma: max_wraps must be >= 0");
+    ensure(delta_psi > 0.0, "estimate_gamma: delta_psi must be positive");
+    const double log_psi = std::log(delta_psi);  // < 0 for attenuation
+
+    // A pure phase-only measurement (lossless material) carries no
+    // amplitude information to disambiguate with; keep gamma = 0.
+    if (std::abs(log_psi) < 1e-12) {
+        return 0;
+    }
+
+    int best_gamma = 0;
+    bool found = false;
+    for (int magnitude = 0; magnitude <= config.max_wraps && !found;
+         ++magnitude) {
+        for (const int sign : {1, -1}) {
+            const int gamma = sign * magnitude;
+            if (magnitude == 0 && sign < 0) {
+                continue;
+            }
+            const double denom = delta_theta_rad + 2.0 * kPi * gamma;
+            if (std::abs(denom) < 1e-12) {
+                continue;
+            }
+            const double omega = log_psi / denom;
+            // Admissible: attenuation and phase retardation must have
+            // consistent signs — every lossy retarding liquid has a
+            // positive feature — and a plausible magnitude.
+            if (omega >= config.min_abs_omega &&
+                omega <= config.max_abs_omega) {
+                best_gamma = gamma;
+                found = true;
+                break;
+            }
+        }
+    }
+    return best_gamma;
+}
+
+namespace {
+
+/// Eq. 18/19: the wrapped phase-difference change and amplitude-ratio
+/// change for one pair and subcarrier (gamma and Omega not yet filled in).
+MaterialMeasurement raw_measurement(const csi::CsiSeries& baseline,
+                                    const csi::CsiSeries& target,
+                                    AntennaPair pair,
+                                    std::size_t subcarrier,
+                                    const FeatureConfig& config) {
+    MaterialMeasurement m;
+    // Stable antenna ratio of each capture (Fig. 14 ablation: without
+    // amplitude denoising, neither the outlier gate nor the impulse
+    // removal runs).
+    const Complex ratio_target =
+        mean_complex_ratio(target, pair, subcarrier, config.denoise,
+                           config.use_amplitude_denoising);
+    const Complex ratio_baseline =
+        mean_complex_ratio(baseline, pair, subcarrier, config.denoise,
+                           config.use_amplitude_denoising);
+    ensure(std::abs(ratio_baseline) > 0.0,
+           "measure_material: zero baseline antenna ratio");
+
+    // Eq. 18: change of the calibrated phase difference.
+    m.delta_theta_rad =
+        wrap_to_pi(std::arg(ratio_target) - std::arg(ratio_baseline));
+
+    // Eq. 19: change of the stable amplitude ratio.
+    m.delta_psi = std::abs(ratio_target) / std::abs(ratio_baseline);
+    ensure(m.delta_psi > 0.0,
+           "measure_material: nonpositive amplitude-ratio change");
+    return m;
+}
+
+/// Eq. 21 with the ridge regularizer (see FeatureConfig). The sign follows
+/// the paper's worked algebra of Eq. 19-20: Omega = ln(DeltaPsi) / d is
+/// positive for every lossy retarding liquid (ln DeltaPsi and d are both
+/// negative in the exp(-j beta d) phase convention this codebase uses).
+void finish_measurement(MaterialMeasurement& m, int gamma,
+                        const FeatureConfig& config) {
+    m.gamma = gamma;
+    const double denom =
+        m.delta_theta_rad + 2.0 * kPi * static_cast<double>(gamma);
+    const double ridge = config.phase_ridge_rad;
+    m.omega = std::log(m.delta_psi) * denom /
+              (denom * denom + ridge * ridge);
+}
+
+void check_series(const csi::CsiSeries& baseline,
+                  const csi::CsiSeries& target) {
+    ensure(!baseline.empty() && !target.empty(),
+           "measure_material: baseline and target must be non-empty");
+    ensure(baseline.antenna_count() == target.antenna_count() &&
+               baseline.subcarrier_count() == target.subcarrier_count(),
+           "measure_material: series dimensions differ");
+}
+
+}  // namespace
+
+MaterialMeasurement measure_material(const csi::CsiSeries& baseline,
+                                     const csi::CsiSeries& target,
+                                     AntennaPair pair,
+                                     std::size_t subcarrier,
+                                     const FeatureConfig& config) {
+    check_series(baseline, target);
+    MaterialMeasurement m =
+        raw_measurement(baseline, target, pair, subcarrier, config);
+    finish_measurement(
+        m, estimate_gamma(m.delta_theta_rad, m.delta_psi, config.gamma),
+        config);
+    return m;
+}
+
+std::vector<MaterialMeasurement> measure_material_pairs(
+    const csi::CsiSeries& baseline, const csi::CsiSeries& target,
+    const std::vector<AntennaPair>& pairs, std::size_t subcarrier,
+    const FeatureConfig& config) {
+    ensure(!pairs.empty(), "measure_material_pairs: need >= 1 pair");
+    check_series(baseline, target);
+
+    std::vector<MaterialMeasurement> out;
+    out.reserve(pairs.size());
+
+    // Reference pair: assumed wrap-free (the deployment's closest pair);
+    // its gamma comes from the admissible-range search of Sec. III-E.
+    MaterialMeasurement ref =
+        raw_measurement(baseline, target, pairs.front(), subcarrier, config);
+    finish_measurement(
+        ref, estimate_gamma(ref.delta_theta_rad, ref.delta_psi, config.gamma),
+        config);
+    const double ref_denom =
+        ref.delta_theta_rad + kTwoPi * static_cast<double>(ref.gamma);
+    const double ref_log_psi = -std::log(ref.delta_psi);
+    out.push_back(ref);
+
+    for (std::size_t p = 1; p < pairs.size(); ++p) {
+        MaterialMeasurement m =
+            raw_measurement(baseline, target, pairs[p], subcarrier, config);
+        // Coarse-amplitude wrap recovery: the log amplitude-ratio changes
+        // of two pairs scale with their in-target path differences
+        // regardless of the material, so their ratio predicts this pair's
+        // unwrapped phase from the reference pair's phase.
+        int gamma = 0;
+        if (std::abs(ref_log_psi) > 0.05) {
+            double path_ratio = -std::log(m.delta_psi) / ref_log_psi;
+            // Geometry bounds the array's path-difference ratios; clamping
+            // keeps a noisy near-zero reference from predicting wild wraps.
+            path_ratio = clamp(path_ratio, 0.0, 8.0);
+            const double predicted = ref_denom * path_ratio;
+            gamma = static_cast<int>(
+                std::lround((predicted - m.delta_theta_rad) / kTwoPi));
+            gamma = static_cast<int>(clamp(gamma, -config.gamma.max_wraps,
+                                           config.gamma.max_wraps));
+        }
+        finish_measurement(m, gamma, config);
+        out.push_back(m);
+    }
+    return out;
+}
+
+std::vector<double> extract_feature_vector(
+    const csi::CsiSeries& baseline, const csi::CsiSeries& target,
+    const std::vector<AntennaPair>& pairs,
+    const std::vector<std::size_t>& subcarriers,
+    const FeatureConfig& config) {
+    ensure(!pairs.empty(), "extract_feature_vector: need >= 1 antenna pair");
+    ensure(!subcarriers.empty(),
+           "extract_feature_vector: need >= 1 subcarrier");
+    std::vector<double> features;
+    features.reserve(pairs.size() * subcarriers.size());
+    for (const std::size_t sc : subcarriers) {
+        for (const MaterialMeasurement& m :
+             measure_material_pairs(baseline, target, pairs, sc, config)) {
+            features.push_back(m.omega);
+        }
+    }
+    return features;
+}
+
+}  // namespace wimi::core

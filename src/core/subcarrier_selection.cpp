@@ -1,0 +1,44 @@
+#include "core/subcarrier_selection.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace wimi::core {
+
+std::vector<double> subcarrier_variances(const csi::CsiSeries& series,
+                                         AntennaPair pair) {
+    ensure(!series.empty(), "subcarrier_variances: empty series");
+    const std::size_t n_sc = series.subcarrier_count();
+    std::vector<double> variances;
+    variances.reserve(n_sc);
+    for (std::size_t k = 0; k < n_sc; ++k) {
+        variances.push_back(phase_difference_variance(series, pair, k));
+    }
+    return variances;
+}
+
+std::vector<std::size_t> select_good_subcarriers(
+    std::span<const double> variances, std::size_t count) {
+    ensure(count >= 1, "select_good_subcarriers: count must be >= 1");
+    ensure(count <= variances.size(),
+           "select_good_subcarriers: count exceeds subcarrier count");
+    std::vector<std::size_t> order(variances.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return variances[a] < variances[b];
+                     });
+    order.resize(count);
+    return order;
+}
+
+std::vector<std::size_t> select_good_subcarriers(const csi::CsiSeries& series,
+                                                 AntennaPair pair,
+                                                 std::size_t count) {
+    return select_good_subcarriers(subcarrier_variances(series, pair),
+                                   count);
+}
+
+}  // namespace wimi::core

@@ -1,0 +1,32 @@
+// 'Good' subcarrier selection (paper Sec. III-B, Eq. 7, Fig. 6).
+//
+// Different subcarriers are affected differently by multipath (frequency
+// diversity); the ones affected least show the smallest phase-difference
+// variance across packets. WiMi selects the P subcarriers with the
+// smallest variance and senses on those only.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/phase_calibration.hpp"
+#include "csi/frame.hpp"
+
+namespace wimi::core {
+
+/// Phase-difference variance (Eq. 7) per subcarrier for one antenna pair.
+std::vector<double> subcarrier_variances(const csi::CsiSeries& series,
+                                         AntennaPair pair);
+
+/// Indices of the `count` subcarriers with the smallest variance, sorted
+/// ascending by variance. Requires 1 <= count <= variances.size().
+std::vector<std::size_t> select_good_subcarriers(
+    std::span<const double> variances, std::size_t count);
+
+/// Convenience: variances + selection in one call.
+std::vector<std::size_t> select_good_subcarriers(const csi::CsiSeries& series,
+                                                 AntennaPair pair,
+                                                 std::size_t count);
+
+}  // namespace wimi::core

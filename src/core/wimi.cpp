@@ -1,0 +1,117 @@
+#include "core/wimi.hpp"
+
+#include "common/error.hpp"
+#include "core/antenna_selection.hpp"
+#include "core/subcarrier_selection.hpp"
+#include "ml/knn.hpp"
+
+namespace wimi::core {
+
+Wimi::Wimi(WimiConfig config)
+    : config_(std::move(config)),
+      pairs_(config_.pairs),
+      subcarriers_(config_.subcarriers),
+      svm_(config_.svm),
+      knn_(config_.knn_k) {
+    ensure(!pairs_.empty() || config_.auto_select_pair,
+           "Wimi: need antenna pairs or auto_select_pair");
+    ensure(config_.good_subcarrier_count >= 1,
+           "Wimi: good_subcarrier_count must be >= 1");
+}
+
+void Wimi::calibrate(const csi::CsiSeries& reference) {
+    ensure(!reference.empty(), "Wimi::calibrate: empty reference capture");
+    if (config_.auto_select_pair) {
+        pairs_ = {select_best_pair(reference)};
+    }
+    ensure(!pairs_.empty(), "Wimi::calibrate: no antenna pairs");
+    if (config_.subcarriers.empty()) {
+        // Select low-variance subcarriers using the first sensing pair
+        // (Eq. 7); the same subcarriers are then used for every pair so
+        // feature vectors stay aligned.
+        subcarriers_ = select_good_subcarriers(
+            reference, pairs_.front(), config_.good_subcarrier_count);
+    } else {
+        subcarriers_ = config_.subcarriers;
+    }
+}
+
+std::vector<double> Wimi::features(const csi::CsiSeries& baseline,
+                                   const csi::CsiSeries& target) const {
+    ensure(calibrated(),
+           "Wimi::features: call calibrate() first (or pin subcarriers in "
+           "the config)");
+    return extract_feature_vector(baseline, target, pairs_, subcarriers_,
+                                  config_.feature);
+}
+
+int Wimi::enroll(std::string_view material_name,
+                 const csi::CsiSeries& baseline,
+                 const csi::CsiSeries& target) {
+    const int id = database_.register_material(material_name);
+    database_.add_sample(id, features(baseline, target));
+    trained_ = false;
+    return id;
+}
+
+void Wimi::enroll_features(std::string_view material_name,
+                           std::span<const double> features) {
+    const int id = database_.register_material(material_name);
+    database_.add_sample(id, features);
+    trained_ = false;
+}
+
+double Wimi::train_tuned(const ml::GridSearchConfig& search) {
+    ensure(config_.classifier == ClassifierKind::kSvm,
+           "Wimi::train_tuned: only the SVM backend is tunable");
+    ensure(database_.material_count() >= 2,
+           "Wimi::train_tuned: need at least two enrolled materials");
+    const auto result = ml::tune_svm(database_.dataset(), search);
+    config_.svm = result.best;
+    svm_ = ml::MulticlassSvm(config_.svm);
+    train();
+    return result.best_accuracy;
+}
+
+void Wimi::train() {
+    ensure(database_.material_count() >= 2,
+           "Wimi::train: need at least two enrolled materials");
+    ensure(database_.sample_count() >= database_.material_count(),
+           "Wimi::train: need at least one sample per material");
+    scaler_.fit(database_.dataset());
+    const ml::Dataset scaled = scaler_.transform(database_.dataset());
+    switch (config_.classifier) {
+        case ClassifierKind::kSvm:
+            svm_.train(scaled);
+            break;
+        case ClassifierKind::kKnn:
+            knn_.train(scaled);
+            break;
+    }
+    trained_ = true;
+}
+
+IdentificationResult Wimi::identify_features(
+    std::span<const double> features) const {
+    ensure(trained_, "Wimi::identify: train() not called");
+    const auto scaled = scaler_.transform(features);
+    IdentificationResult result;
+    result.features.assign(features.begin(), features.end());
+    switch (config_.classifier) {
+        case ClassifierKind::kSvm:
+            result.material_id = svm_.predict(scaled);
+            break;
+        case ClassifierKind::kKnn:
+            result.material_id = knn_.predict(scaled);
+            break;
+    }
+    result.material_name = database_.material_name(result.material_id);
+    return result;
+}
+
+IdentificationResult Wimi::identify(const csi::CsiSeries& baseline,
+                                    const csi::CsiSeries& target) const {
+    return identify_features(features(baseline, target));
+}
+
+}  // namespace wimi::core

@@ -1,0 +1,83 @@
+#include "csi/capture.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "csi/quantizer.hpp"
+
+namespace wimi::csi {
+namespace {
+
+ImpairmentConfig with_env_noise(ImpairmentConfig impairments,
+                                const rf::EnvironmentSpec& env,
+                                const rf::Deployment& deployment) {
+    // The environment preset carries the receiver SNR at the 2 m reference
+    // link; fold it into the impairment model so callers configure noise
+    // in exactly one place. The thermal floor is fixed in absolute terms
+    // while the signal falls as 1/d, so the relative floor rises by
+    // 20 log10(d / 2) dB on longer links (part of Fig. 17's distance
+    // degradation).
+    const double distance = deployment.los_distance(0);
+    impairments.noise_floor_dbc =
+        env.noise_floor_dbc + 20.0 * std::log10(distance / 2.0);
+    return impairments;
+}
+
+}  // namespace
+
+CaptureSimulator::CaptureSimulator(const CaptureConfig& config)
+    : config_(config),
+      channel_(config.channel),
+      frequencies_(subcarrier_frequencies(config.center_frequency_hz)),
+      session_rng_(config.seed),
+      impairments_(with_env_noise(config.impairments,
+                                  config.channel.environment,
+                                  config.channel.deployment),
+                   config.channel.deployment.rx_antenna_count,
+                   session_rng_) {}
+
+std::span<const int> CaptureSimulator::subcarrier_offsets() const {
+    return intel5300_subcarrier_indices();
+}
+
+CsiSeries CaptureSimulator::capture(
+    const std::optional<rf::TargetScene>& scene, std::size_t packet_count) {
+    ensure(packet_count >= 1, "CaptureSimulator: need at least one packet");
+
+    const rf::TargetScene* scene_ptr = scene ? &*scene : nullptr;
+    const std::size_t n_ant = channel_.antenna_count();
+    const std::size_t n_sc = frequencies_.size();
+
+    CsiSeries series;
+    series.frames.reserve(packet_count);
+    for (std::size_t p = 0; p < packet_count; ++p) {
+        Rng packet_rng = session_rng_.fork();
+        const auto h = channel_.sample(frequencies_, scene_ptr, packet_rng);
+
+        CsiFrame frame(n_ant, n_sc);
+        frame.timestamp_s =
+            static_cast<double>(p) * config_.packet_interval_s;
+        for (std::size_t a = 0; a < n_ant; ++a) {
+            for (std::size_t k = 0; k < n_sc; ++k) {
+                frame.at(a, k) = h[a][k];
+            }
+        }
+        impairments_.apply(frame, subcarrier_offsets(), packet_rng);
+
+        // RSSI report: mean power across the frame, on a dB scale.
+        double mean_power = 0.0;
+        for (const Complex& v : frame.raw()) {
+            mean_power += std::norm(v);
+        }
+        mean_power /= static_cast<double>(n_ant * n_sc);
+        frame.rssi_dbm = 10.0 * std::log10(mean_power + 1e-30);
+
+        if (config_.quantize) {
+            frame = quantization_roundtrip(frame);
+        }
+        series.frames.push_back(std::move(frame));
+    }
+    return series;
+}
+
+}  // namespace wimi::csi

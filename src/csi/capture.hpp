@@ -1,0 +1,62 @@
+// CSI capture simulation: channel model + impairments + quantization.
+//
+// A CaptureSimulator stands in for the laptop + Intel 5300 receiving
+// packets every 10 ms (paper Sec. IV). One simulator instance is one
+// *session*: the channel realization (reflector layout) and the receiver's
+// static per-chain offsets are fixed, exactly like leaving the hardware in
+// place while swapping liquids in the beaker — which is what makes the
+// paper's baseline-vs-target differencing meaningful.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "csi/frame.hpp"
+#include "csi/impairments.hpp"
+#include "csi/subcarrier.hpp"
+#include "rf/channel.hpp"
+
+namespace wimi::csi {
+
+/// Configuration of one measurement session.
+struct CaptureConfig {
+    rf::ChannelConfig channel;
+    ImpairmentConfig impairments;
+    double center_frequency_hz = kDefaultCenterFrequencyHz;
+    double packet_interval_s = 0.010;  ///< paper: one CSI report / 10 ms
+    bool quantize = true;              ///< model the int8 CSI export
+    std::uint64_t seed = 1;            ///< session seed (impairment draws)
+};
+
+/// Simulates CSI capture for a fixed deployment across multiple scenes.
+class CaptureSimulator {
+public:
+    explicit CaptureSimulator(const CaptureConfig& config);
+
+    /// Captures `packet_count` CSI frames with `scene` on the link
+    /// (nullopt = nothing on the link at all).
+    CsiSeries capture(const std::optional<rf::TargetScene>& scene,
+                      std::size_t packet_count);
+
+    /// Subcarrier center frequencies of this session's channel.
+    const std::vector<double>& frequencies() const { return frequencies_; }
+
+    /// Logical subcarrier offsets (units of subcarrier spacing).
+    std::span<const int> subcarrier_offsets() const;
+
+    const CaptureConfig& config() const { return config_; }
+
+    /// Noise floor used by the impairments; exposed for experiment setup.
+    const ImpairmentModel& impairment_model() const { return impairments_; }
+
+private:
+    CaptureConfig config_;
+    rf::ChannelModel channel_;
+    std::vector<double> frequencies_;
+    Rng session_rng_;
+    ImpairmentModel impairments_;
+};
+
+}  // namespace wimi::csi

@@ -1,0 +1,117 @@
+#include "csi/impairments.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "csi/subcarrier.hpp"
+
+namespace wimi::csi {
+
+ImpairmentModel::ImpairmentModel(const ImpairmentConfig& config,
+                                 std::size_t antenna_count, Rng& rng)
+    : config_(config) {
+    ensure(antenna_count >= 1, "ImpairmentModel: need at least one antenna");
+    static_gain_.reserve(antenna_count);
+    static_phase_.reserve(antenna_count);
+    for (std::size_t a = 0; a < antenna_count; ++a) {
+        const double gain_db =
+            rng.gaussian(0.0, config_.static_gain_spread_db);
+        static_gain_.push_back(db_to_amplitude(gain_db));
+        static_phase_.push_back(
+            rng.gaussian(0.0, config_.static_phase_spread_rad));
+    }
+}
+
+double ImpairmentModel::static_gain(std::size_t antenna) const {
+    ensure(antenna < static_gain_.size(),
+           "ImpairmentModel: antenna out of range");
+    return static_gain_[antenna];
+}
+
+double ImpairmentModel::static_phase(std::size_t antenna) const {
+    ensure(antenna < static_phase_.size(),
+           "ImpairmentModel: antenna out of range");
+    return static_phase_[antenna];
+}
+
+void ImpairmentModel::apply(CsiFrame& frame,
+                            std::span<const int> subcarrier_offsets,
+                            Rng& packet_rng) const {
+    const std::size_t n_ant = frame.antenna_count();
+    const std::size_t n_sc = frame.subcarrier_count();
+    ensure(subcarrier_offsets.size() == n_sc,
+           "ImpairmentModel::apply: subcarrier offset count mismatch");
+    ensure(n_ant <= static_gain_.size(),
+           "ImpairmentModel::apply: frame has more antennas than the "
+           "session was built for");
+
+    // Mean amplitude before corruption sets the scale of noise/impulses.
+    double mean_amp = 0.0;
+    for (std::size_t a = 0; a < n_ant; ++a) {
+        for (std::size_t k = 0; k < n_sc; ++k) {
+            mean_amp += frame.amplitude(a, k);
+        }
+    }
+    mean_amp /= static_cast<double>(n_ant * n_sc);
+    const double noise_std =
+        mean_amp * db_to_amplitude(config_.noise_floor_dbc);
+
+    // Board-common per-packet phase errors (Eq. 5): CFO constant + timing
+    // slope across subcarriers.
+    const double cfo_phase =
+        config_.random_cfo ? packet_rng.uniform(0.0, kTwoPi) : 0.0;
+    const double timing_error =
+        packet_rng.gaussian(0.0, config_.timing_error_std_s);
+    // Board-common per-packet gain (AGC + Tx power control).
+    double agc_gain = db_to_amplitude(
+        packet_rng.gaussian(0.0, config_.agc_jitter_db));
+    // Gain outliers are AGC mis-settings and therefore also board-common:
+    // the one AGC decision scales every chain of the packet. (That they
+    // cancel in the antenna ratio is part of why the ratio is so much
+    // stabler — Fig. 8.)
+    if (packet_rng.bernoulli(config_.outlier_probability)) {
+        const double factor = packet_rng.uniform(config_.outlier_gain_lo,
+                                                 config_.outlier_gain_hi);
+        agc_gain *= packet_rng.bernoulli(0.5) ? factor : 1.0 / factor;
+    }
+
+    for (std::size_t a = 0; a < n_ant; ++a) {
+        // Per-chain events for this packet.
+        const double chain_gain = static_gain_[a] * agc_gain;
+        const bool impulse =
+            packet_rng.bernoulli(config_.impulse_probability);
+        const double impulse_mag =
+            impulse ? mean_amp * config_.impulse_relative_magnitude *
+                          packet_rng.uniform(0.5, 1.5)
+                    : 0.0;
+        const double impulse_phase = packet_rng.uniform(0.0, kTwoPi);
+
+        for (std::size_t k = 0; k < n_sc; ++k) {
+            Complex& h = frame.at(a, k);
+            // Phase slope k * (lambda_b + lambda_s): the timing error adds
+            // 2*pi*Delta_f_k*tau where Delta_f_k is the subcarrier's offset
+            // from band center.
+            const double slope_phase =
+                kTwoPi * static_cast<double>(subcarrier_offsets[k]) *
+                kSubcarrierSpacingHz * timing_error;
+            const double common_phase =
+                cfo_phase + slope_phase + static_phase_[a];
+            h *= chain_gain * std::exp(Complex(0.0, common_phase));
+
+            // Per-antenna measurement noise Z: small phase jitter plus
+            // complex AWGN.
+            h *= std::exp(Complex(
+                0.0, packet_rng.gaussian(0.0, config_.phase_noise_std_rad)));
+            h += Complex(packet_rng.gaussian(0.0, noise_std),
+                         packet_rng.gaussian(0.0, noise_std));
+
+            if (impulse) {
+                // Broadband burst: same complex offset on every subcarrier
+                // of the afflicted chain, like the spikes of Fig. 3.
+                h += impulse_mag * std::exp(Complex(0.0, impulse_phase));
+            }
+        }
+    }
+}
+
+}  // namespace wimi::csi

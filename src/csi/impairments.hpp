@@ -1,0 +1,94 @@
+// Receiver hardware impairment model (Intel 5300-like).
+//
+// The paper's Eq. 5 writes the measured phase at subcarrier k, antenna i as
+//
+//   phi~_{k,i} = phi_{k,i} + k (lambda_b + lambda_s) + beta + Z
+//
+// where lambda_b is packet-boundary delay, lambda_s sampling frequency
+// offset, beta carrier frequency offset, and Z measurement noise. The
+// essential structure — exploited by WiMi's calibration — is that the
+// k-linear slope and the constant beta are *common to all antennas of one
+// board* (shared clocks) and *random per packet* (no Tx/Rx sync), while Z
+// is independent per antenna. This model reproduces exactly that, plus the
+// amplitude pathologies of Fig. 3: board-common gain outliers (AGC
+// glitches) and per-chain additive impulse bursts, on top of thermal AWGN.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "csi/frame.hpp"
+
+namespace wimi::csi {
+
+/// Tunable impairment magnitudes. Defaults approximate reported Intel 5300
+/// behaviour.
+struct ImpairmentConfig {
+    /// Residual CFO phase per packet is uniform over the circle when true
+    /// (unsynchronized transceivers, the paper's Fig. 2 observation).
+    bool random_cfo = true;
+    /// Std-dev of the per-packet symbol timing error (PBD + SFO) [s];
+    /// appears as a phase slope across subcarriers, common to all antennas.
+    double timing_error_std_s = 40e-9;
+    /// Std-dev of per-antenna, per-subcarrier phase noise Z [rad].
+    double phase_noise_std_rad = 0.03;
+    /// Thermal noise floor relative to the mean frame amplitude [dB].
+    double noise_floor_dbc = -27.0;
+    /// Std-dev of the per-packet receiver gain (AGC + Tx power control)
+    /// [dB], common to all chains of the board. This common-mode
+    /// fluctuation is what the antenna amplitude *ratio* cancels — the
+    /// physical basis of the paper's Fig. 8.
+    double agc_jitter_db = 1.0;
+    /// Probability per packet of an AGC gain outlier (board-common: the
+    /// one AGC decision scales every chain of the packet).
+    double outlier_probability = 0.008;
+    /// Gain outliers multiply the frame amplitude by a factor drawn from
+    /// [outlier_gain_lo, outlier_gain_hi] (or its reciprocal, 50/50).
+    double outlier_gain_lo = 2.0;
+    double outlier_gain_hi = 3.5;
+    /// Probability per (packet, antenna) of an additive impulse burst.
+    double impulse_probability = 0.015;
+    /// Impulse magnitude relative to the mean frame amplitude.
+    double impulse_relative_magnitude = 1.0;
+    /// Per-antenna static gain spread [dB] (fixed per capture session).
+    double static_gain_spread_db = 1.5;
+    /// Per-antenna static phase offset spread [rad] (cable lengths etc.,
+    /// fixed per capture session; cancels in baseline-vs-target deltas).
+    double static_phase_spread_rad = 0.5;
+};
+
+/// Applies impairments packet-by-packet. One instance models one capture
+/// session: the static per-antenna gain/phase offsets are drawn at
+/// construction and persist across packets (and across baseline/target
+/// captures that share the session, as in the paper's procedure).
+class ImpairmentModel {
+public:
+    /// Draws the session-static offsets for `antenna_count` chains.
+    ImpairmentModel(const ImpairmentConfig& config,
+                    std::size_t antenna_count, Rng& rng);
+
+    /// Corrupts `frame` in place. `subcarrier_offsets` lists the logical
+    /// subcarrier indices (units of subcarrier spacing from band center)
+    /// used for the timing-error phase slope; its size must match the
+    /// frame's subcarrier count.
+    void apply(CsiFrame& frame, std::span<const int> subcarrier_offsets,
+               Rng& packet_rng) const;
+
+    const ImpairmentConfig& config() const { return config_; }
+
+    /// Session-static amplitude gain of one chain (exposed for tests).
+    double static_gain(std::size_t antenna) const;
+
+    /// Session-static phase offset of one chain (exposed for tests).
+    double static_phase(std::size_t antenna) const;
+
+private:
+    ImpairmentConfig config_;
+    std::vector<double> static_gain_;
+    std::vector<double> static_phase_;
+};
+
+}  // namespace wimi::csi

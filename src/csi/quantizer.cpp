@@ -1,0 +1,62 @@
+#include "csi/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace wimi::csi {
+
+QuantizedFrame quantize(const CsiFrame& frame) {
+    ensure(frame.antenna_count() > 0 && frame.subcarrier_count() > 0,
+           "quantize: empty frame");
+    double max_component = 0.0;
+    for (const Complex& h : frame.raw()) {
+        max_component = std::max({max_component, std::abs(h.real()),
+                                  std::abs(h.imag())});
+    }
+    ensure(max_component > 0.0, "quantize: all-zero frame");
+
+    QuantizedFrame q;
+    q.antenna_count = frame.antenna_count();
+    q.subcarrier_count = frame.subcarrier_count();
+    q.scale = 127.0 / max_component;
+    q.timestamp_s = frame.timestamp_s;
+    q.rssi_dbm = frame.rssi_dbm;
+    q.real.reserve(frame.raw().size());
+    q.imag.reserve(frame.raw().size());
+    for (const Complex& h : frame.raw()) {
+        const double re = std::round(h.real() * q.scale);
+        const double im = std::round(h.imag() * q.scale);
+        q.real.push_back(static_cast<std::int8_t>(
+            std::clamp(re, -127.0, 127.0)));
+        q.imag.push_back(static_cast<std::int8_t>(
+            std::clamp(im, -127.0, 127.0)));
+    }
+    return q;
+}
+
+CsiFrame dequantize(const QuantizedFrame& q) {
+    ensure(q.antenna_count > 0 && q.subcarrier_count > 0,
+           "dequantize: empty frame");
+    ensure(q.real.size() == q.antenna_count * q.subcarrier_count &&
+               q.imag.size() == q.real.size(),
+           "dequantize: component array size mismatch");
+    ensure(q.scale > 0.0, "dequantize: scale must be positive");
+
+    CsiFrame frame(q.antenna_count, q.subcarrier_count);
+    frame.timestamp_s = q.timestamp_s;
+    frame.rssi_dbm = q.rssi_dbm;
+    auto raw = frame.raw();
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        raw[i] = Complex(static_cast<double>(q.real[i]) / q.scale,
+                         static_cast<double>(q.imag[i]) / q.scale);
+    }
+    return frame;
+}
+
+CsiFrame quantization_roundtrip(const CsiFrame& frame) {
+    return dequantize(quantize(frame));
+}
+
+}  // namespace wimi::csi

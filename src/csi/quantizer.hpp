@@ -1,0 +1,39 @@
+// Intel 5300-style CSI quantization.
+//
+// The 5300 firmware reports each CSI entry as a pair of signed 8-bit
+// integers (real, imaginary), scaled per frame so the strongest component
+// uses the full range. Quantization is one reason raw CSI readings are
+// "coarse" (paper Sec. I); modeling it keeps the simulated measurements
+// honest about resolution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "csi/frame.hpp"
+
+namespace wimi::csi {
+
+/// A quantized CSI frame: int8 components plus the frame scale factor.
+struct QuantizedFrame {
+    std::size_t antenna_count = 0;
+    std::size_t subcarrier_count = 0;
+    std::vector<std::int8_t> real;  ///< antenna-major, length ant*sc
+    std::vector<std::int8_t> imag;
+    double scale = 1.0;  ///< dequantized = int8 / scale
+    double timestamp_s = 0.0;
+    double rssi_dbm = 0.0;
+};
+
+/// Quantizes a frame to int8 with per-frame scaling. Requires a non-empty
+/// frame with at least one nonzero entry.
+QuantizedFrame quantize(const CsiFrame& frame);
+
+/// Reconstructs a CsiFrame from its quantized form.
+CsiFrame dequantize(const QuantizedFrame& q);
+
+/// Convenience: round-trips `frame` through int8 quantization, modeling
+/// the resolution loss of the real hardware export.
+CsiFrame quantization_roundtrip(const CsiFrame& frame);
+
+}  // namespace wimi::csi

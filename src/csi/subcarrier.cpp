@@ -1,0 +1,30 @@
+#include "csi/subcarrier.hpp"
+
+#include "common/error.hpp"
+
+namespace wimi::csi {
+
+const std::array<int, kSubcarrierCount>& intel5300_subcarrier_indices() {
+    // 802.11n-2009 Table 7-25f grouping (Ng = 2) for 20 MHz, as exported by
+    // the Linux 802.11n CSI Tool.
+    static const std::array<int, kSubcarrierCount> kIndices = {
+        -28, -26, -24, -22, -20, -18, -16, -14, -12, -10,
+        -8,  -6,  -4,  -2,  -1,  1,   3,   5,   7,   9,
+        11,  13,  15,  17,  19,  21,  23,  25,  27,  28};
+    return kIndices;
+}
+
+std::vector<double> subcarrier_frequencies(double center_frequency_hz) {
+    ensure(center_frequency_hz > 0.0,
+           "subcarrier_frequencies: center frequency must be positive");
+    const auto& indices = intel5300_subcarrier_indices();
+    std::vector<double> freqs;
+    freqs.reserve(indices.size());
+    for (const int idx : indices) {
+        freqs.push_back(center_frequency_hz +
+                        static_cast<double>(idx) * kSubcarrierSpacingHz);
+    }
+    return freqs;
+}
+
+}  // namespace wimi::csi

@@ -1,0 +1,35 @@
+// OFDM subcarrier layout of the Intel 5300 CSI export.
+//
+// 802.11n at 20 MHz uses 56 populated subcarriers with 312.5 kHz spacing;
+// the Intel 5300 CSI Tool (paper ref. [20]) reports a grouped subset of 30
+// of them. The exact reported indices matter because the paper's figures
+// label subcarriers 1..30 in this grouped order (e.g. "good subcarriers 23,
+// 24" in Fig. 6/13).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace wimi::csi {
+
+/// Number of subcarriers in an Intel 5300 CSI report at 20 MHz.
+inline constexpr std::size_t kSubcarrierCount = 30;
+
+/// Subcarrier spacing of 802.11n [Hz].
+inline constexpr double kSubcarrierSpacingHz = 312'500.0;
+
+/// The 30 grouped logical subcarrier indices (offsets from the channel
+/// center in units of the subcarrier spacing) reported by the Intel 5300
+/// at 20 MHz, in report order.
+const std::array<int, kSubcarrierCount>& intel5300_subcarrier_indices();
+
+/// Center frequencies [Hz] of the 30 reported subcarriers for a channel
+/// centered at `center_frequency_hz`. Requires center_frequency_hz > 0.
+std::vector<double> subcarrier_frequencies(double center_frequency_hz);
+
+/// Default carrier used throughout the reproduction: 5.32 GHz
+/// (802.11n channel 64, matching the paper's 5 GHz-band AP mode).
+inline constexpr double kDefaultCenterFrequencyHz = 5.32e9;
+
+}  // namespace wimi::csi

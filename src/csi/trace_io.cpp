@@ -1,0 +1,98 @@
+#include "csi/trace_io.hpp"
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace wimi::csi {
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'W', 'C', 'S', 'I'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_raw(std::ostream& stream, const T& value) {
+    stream.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_raw(std::istream& stream) {
+    T value{};
+    stream.read(reinterpret_cast<char*>(&value), sizeof(T));
+    ensure(static_cast<bool>(stream), "read_trace: truncated stream");
+    return value;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& stream, const CsiSeries& series) {
+    series.validate();
+    stream.write(kMagic.data(), kMagic.size());
+    write_raw(stream, kVersion);
+    write_raw(stream, static_cast<std::uint32_t>(series.antenna_count()));
+    write_raw(stream,
+              static_cast<std::uint32_t>(series.subcarrier_count()));
+    write_raw(stream, static_cast<std::uint64_t>(series.packet_count()));
+    for (const auto& frame : series.frames) {
+        write_raw(stream, frame.timestamp_s);
+        write_raw(stream, frame.rssi_dbm);
+        for (const Complex& h : frame.raw()) {
+            write_raw(stream, h.real());
+            write_raw(stream, h.imag());
+        }
+    }
+    ensure(static_cast<bool>(stream), "write_trace: stream failure");
+}
+
+void write_trace_file(const std::filesystem::path& path,
+                      const CsiSeries& series) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ensure(out.is_open(),
+           "write_trace_file: cannot open " + path.string());
+    write_trace(out, series);
+}
+
+CsiSeries read_trace(std::istream& stream) {
+    std::array<char, 4> magic{};
+    stream.read(magic.data(), magic.size());
+    ensure(static_cast<bool>(stream) && magic == kMagic,
+           "read_trace: bad magic (not a WCSI trace)");
+    const auto version = read_raw<std::uint32_t>(stream);
+    ensure(version == kVersion, "read_trace: unsupported version");
+    const auto n_ant = read_raw<std::uint32_t>(stream);
+    const auto n_sc = read_raw<std::uint32_t>(stream);
+    const auto n_frames = read_raw<std::uint64_t>(stream);
+    ensure((n_ant >= 1 && n_sc >= 1) || n_frames == 0,
+           "read_trace: degenerate dimensions");
+    // Frames are ~(n_ant * n_sc * 16 + 16) bytes; cap to keep a corrupt
+    // header from driving a multi-GB allocation.
+    ensure(n_frames <= 100'000'000ULL, "read_trace: implausible frame count");
+
+    CsiSeries series;
+    series.frames.reserve(static_cast<std::size_t>(n_frames));
+    for (std::uint64_t i = 0; i < n_frames; ++i) {
+        CsiFrame frame(n_ant, n_sc);
+        frame.timestamp_s = read_raw<double>(stream);
+        frame.rssi_dbm = read_raw<double>(stream);
+        for (Complex& h : frame.raw()) {
+            const double re = read_raw<double>(stream);
+            const double im = read_raw<double>(stream);
+            h = Complex(re, im);
+        }
+        series.frames.push_back(std::move(frame));
+    }
+    return series;
+}
+
+CsiSeries read_trace_file(const std::filesystem::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    ensure(in.is_open(), "read_trace_file: cannot open " + path.string());
+    return read_trace(in);
+}
+
+}  // namespace wimi::csi

@@ -1,0 +1,36 @@
+// CSI trace serialization.
+//
+// A simple versioned binary container for CsiSeries, playing the role of
+// the .dat trace files the Linux 802.11n CSI Tool produces: examples
+// record simulated captures to disk and replay them through the pipeline,
+// exercising the same store-then-process workflow as the real system.
+//
+// Layout (little-endian):
+//   magic "WCSI" | u32 version | u32 antennas | u32 subcarriers |
+//   u64 frame_count | frames...
+// Each frame: f64 timestamp | f64 rssi | antennas*subcarriers * (f64 re,
+// f64 im).
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "csi/frame.hpp"
+
+namespace wimi::csi {
+
+/// Writes `series` to `stream`. Throws wimi::Error on inconsistent series
+/// dimensions or stream failure.
+void write_trace(std::ostream& stream, const CsiSeries& series);
+
+/// Writes `series` to `path`, overwriting any existing file.
+void write_trace_file(const std::filesystem::path& path,
+                      const CsiSeries& series);
+
+/// Reads a series from `stream`. Throws wimi::Error on malformed input.
+CsiSeries read_trace(std::istream& stream);
+
+/// Reads a series from `path`.
+CsiSeries read_trace_file(const std::filesystem::path& path);
+
+}  // namespace wimi::csi

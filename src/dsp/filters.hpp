@@ -1,0 +1,58 @@
+// Classical smoothing filters.
+//
+// The paper's Fig. 7 compares its wavelet-correlation denoiser against three
+// traditional filters — a median filter, a sliding(-mean) filter, and a
+// Butterworth low-pass filter. All three are implemented here from scratch;
+// the Butterworth design uses the standard analog prototype + bilinear
+// transform, factored into second-order sections for numerical stability.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wimi::dsp {
+
+/// Sliding median filter with an odd window; the window shrinks
+/// symmetrically near the edges so output length equals input length.
+std::vector<double> median_filter(std::span<const double> input,
+                                  std::size_t window);
+
+/// Sliding mean ("slide") filter with the same edge policy as
+/// median_filter.
+std::vector<double> sliding_mean_filter(std::span<const double> input,
+                                        std::size_t window);
+
+/// One second-order (biquad) IIR section in direct form II transposed.
+struct Biquad {
+    double b0 = 1.0;
+    double b1 = 0.0;
+    double b2 = 0.0;
+    double a1 = 0.0;  ///< denominator, a0 normalized to 1
+    double a2 = 0.0;
+};
+
+/// Digital Butterworth low-pass filter of arbitrary order.
+class ButterworthLowPass {
+public:
+    /// Designs an `order`-pole low-pass with cutoff `cutoff_hz` at sample
+    /// rate `sample_rate_hz`. Requires 0 < cutoff < sample_rate / 2.
+    ButterworthLowPass(std::size_t order, double cutoff_hz,
+                       double sample_rate_hz);
+
+    /// Single forward pass (causal, phase-distorting).
+    std::vector<double> filter(std::span<const double> input) const;
+
+    /// Zero-phase forward–backward pass with reflective edge padding
+    /// (the variant used for the Fig. 7 comparison, since offline CSI
+    /// smoothing has no causality constraint).
+    std::vector<double> filtfilt(std::span<const double> input) const;
+
+    /// The designed second-order sections (exposed for testing).
+    const std::vector<Biquad>& sections() const { return sections_; }
+
+private:
+    std::vector<Biquad> sections_;
+};
+
+}  // namespace wimi::dsp

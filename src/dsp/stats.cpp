@@ -1,0 +1,204 @@
+#include "dsp/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace wimi::dsp {
+
+double mean(std::span<const double> values) {
+    ensure(!values.empty(), "mean: input must not be empty");
+    double sum = 0.0;
+    for (const double v : values) {
+        sum += v;
+    }
+    return sum / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+    ensure(!values.empty(), "variance: input must not be empty");
+    const double mu = mean(values);
+    double sum_sq = 0.0;
+    for (const double v : values) {
+        const double d = v - mu;
+        sum_sq += d * d;
+    }
+    return sum_sq / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+    return std::sqrt(variance(values));
+}
+
+double sample_variance(std::span<const double> values) {
+    ensure(values.size() >= 2, "sample_variance: need at least 2 values");
+    const double mu = mean(values);
+    double sum_sq = 0.0;
+    for (const double v : values) {
+        const double d = v - mu;
+        sum_sq += d * d;
+    }
+    return sum_sq / static_cast<double>(values.size() - 1);
+}
+
+double median(std::span<const double> values) {
+    ensure(!values.empty(), "median: input must not be empty");
+    std::vector<double> sorted(values.begin(), values.end());
+    const std::size_t mid = sorted.size() / 2;
+    std::nth_element(sorted.begin(), sorted.begin() + mid, sorted.end());
+    const double upper = sorted[mid];
+    if (sorted.size() % 2 == 1) {
+        return upper;
+    }
+    const double lower =
+        *std::max_element(sorted.begin(), sorted.begin() + mid);
+    return 0.5 * (lower + upper);
+}
+
+double median_absolute_deviation(std::span<const double> values) {
+    const double med = median(values);
+    std::vector<double> deviations;
+    deviations.reserve(values.size());
+    for (const double v : values) {
+        deviations.push_back(std::abs(v - med));
+    }
+    return median(deviations);
+}
+
+double robust_sigma(std::span<const double> values) {
+    return median_absolute_deviation(values) / 0.6745;
+}
+
+double percentile(std::span<const double> values, double p) {
+    ensure(!values.empty(), "percentile: input must not be empty");
+    ensure(p >= 0.0 && p <= 100.0, "percentile: p must be in [0, 100]");
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1) {
+        return sorted.front();
+    }
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double pearson_correlation(std::span<const double> a,
+                           std::span<const double> b) {
+    ensure(a.size() == b.size() && !a.empty(),
+           "pearson_correlation: inputs must be equal-length and non-empty");
+    const double mean_a = mean(a);
+    const double mean_b = mean(b);
+    double cov = 0.0;
+    double var_a = 0.0;
+    double var_b = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double da = a[i] - mean_a;
+        const double db = b[i] - mean_b;
+        cov += da * db;
+        var_a += da * da;
+        var_b += db * db;
+    }
+    if (var_a == 0.0 || var_b == 0.0) {
+        return 0.0;
+    }
+    return cov / std::sqrt(var_a * var_b);
+}
+
+double rmse(std::span<const double> a, std::span<const double> b) {
+    ensure(a.size() == b.size() && !a.empty(),
+           "rmse: inputs must be equal-length and non-empty");
+    double sum_sq = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        sum_sq += d * d;
+    }
+    return std::sqrt(sum_sq / static_cast<double>(a.size()));
+}
+
+std::vector<std::size_t> sigma_outlier_indices(std::span<const double> values,
+                                               double k_sigma) {
+    ensure(k_sigma > 0.0, "sigma_outlier_indices: k_sigma must be positive");
+    std::vector<std::size_t> outliers;
+    if (values.empty()) {
+        return outliers;
+    }
+    const double mu = mean(values);
+    const double sigma = stddev(values);
+    const double lo = mu - k_sigma * sigma;
+    const double hi = mu + k_sigma * sigma;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (values[i] < lo || values[i] > hi) {
+            outliers.push_back(i);
+        }
+    }
+    return outliers;
+}
+
+std::vector<double> reject_sigma_outliers(std::span<const double> values,
+                                          double k_sigma) {
+    std::vector<double> cleaned(values.begin(), values.end());
+    const auto outliers = sigma_outlier_indices(values, k_sigma);
+    if (outliers.empty()) {
+        return cleaned;
+    }
+    // Mean over inliers only; replacing (rather than deleting) keeps the
+    // series aligned with packet indices for later per-packet processing.
+    double sum = 0.0;
+    std::size_t kept = 0;
+    std::size_t next_outlier = 0;
+    for (std::size_t i = 0; i < cleaned.size(); ++i) {
+        if (next_outlier < outliers.size() && outliers[next_outlier] == i) {
+            ++next_outlier;
+            continue;
+        }
+        sum += cleaned[i];
+        ++kept;
+    }
+    const double inlier_mean =
+        kept > 0 ? sum / static_cast<double>(kept) : mean(values);
+    for (const std::size_t i : outliers) {
+        cleaned[i] = inlier_mean;
+    }
+    return cleaned;
+}
+
+void RunningStats::add(double value) {
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+}
+
+double RunningStats::mean() const {
+    ensure(count_ > 0, "RunningStats::mean: no observations");
+    return mean_;
+}
+
+double RunningStats::variance() const {
+    ensure(count_ > 0, "RunningStats::variance: no observations");
+    return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+    ensure(count_ > 0, "RunningStats::min: no observations");
+    return min_;
+}
+
+double RunningStats::max() const {
+    ensure(count_ > 0, "RunningStats::max: no observations");
+    return max_;
+}
+
+}  // namespace wimi::dsp

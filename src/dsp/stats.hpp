@@ -1,0 +1,86 @@
+// Descriptive statistics used across the WiMi pipeline: subcarrier variance
+// (paper Eq. 7), 3-sigma outlier gating (Sec. III-C step 1), and the robust
+// median noise estimate behind the wavelet threshold (ref. [24]).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wimi::dsp {
+
+/// Arithmetic mean. Requires a non-empty input.
+double mean(std::span<const double> values);
+
+/// Population variance (divide by N), matching the paper's Eq. 7.
+double variance(std::span<const double> values);
+
+/// Population standard deviation.
+double stddev(std::span<const double> values);
+
+/// Sample variance (divide by N-1). Requires >= 2 values.
+double sample_variance(std::span<const double> values);
+
+/// Median (average of middle two for even N). Requires a non-empty input.
+double median(std::span<const double> values);
+
+/// Median absolute deviation from the median.
+double median_absolute_deviation(std::span<const double> values);
+
+/// Robust sigma estimate sigma_hat = MAD / 0.6745 (Donoho–Johnstone), used
+/// for the wavelet noise threshold per the paper's ref. [24].
+double robust_sigma(std::span<const double> values);
+
+/// Linear interpolated percentile; p in [0, 100].
+double percentile(std::span<const double> values, double p);
+
+/// Pearson correlation coefficient; returns 0 when either side is constant.
+double pearson_correlation(std::span<const double> a,
+                           std::span<const double> b);
+
+/// Root-mean-square error between two equal-length series.
+double rmse(std::span<const double> a, std::span<const double> b);
+
+/// Indices of elements outside [mean - k*sigma, mean + k*sigma].
+std::vector<std::size_t> sigma_outlier_indices(std::span<const double> values,
+                                               double k_sigma);
+
+/// Returns `values` with sigma outliers replaced by the mean of the
+/// surviving samples (paper Sec. III-C, outlier removal step).
+std::vector<double> reject_sigma_outliers(std::span<const double> values,
+                                          double k_sigma);
+
+/// Running accumulator for mean/variance without storing samples
+/// (Welford's algorithm); used by long sweeps in the bench harness.
+class RunningStats {
+public:
+    /// Adds one observation.
+    void add(double value);
+
+    /// Number of observations so far.
+    std::size_t count() const { return count_; }
+
+    /// Mean of the observations. Requires count() >= 1.
+    double mean() const;
+
+    /// Population variance. Requires count() >= 1.
+    double variance() const;
+
+    /// Population standard deviation.
+    double stddev() const;
+
+    /// Smallest observation. Requires count() >= 1.
+    double min() const;
+
+    /// Largest observation. Requires count() >= 1.
+    double max() const;
+
+private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+}  // namespace wimi::dsp

@@ -1,0 +1,55 @@
+#include "ml/grid_search.hpp"
+
+#include "common/error.hpp"
+#include "ml/metrics.hpp"
+#include "ml/scaler.hpp"
+
+namespace wimi::ml {
+
+GridSearchResult tune_svm(const Dataset& data,
+                          const GridSearchConfig& config) {
+    ensure(!data.empty(), "tune_svm: empty dataset");
+    ensure(!config.c_values.empty() && !config.gamma_values.empty(),
+           "tune_svm: empty search space");
+    ensure(config.folds >= 2, "tune_svm: need at least 2 folds");
+
+    GridSearchResult result;
+    result.best_accuracy = -1.0;
+    for (const double c : config.c_values) {
+        for (const double gamma : config.gamma_values) {
+            SvmConfig candidate;
+            candidate.kernel = config.kernel;
+            candidate.c = c;
+            candidate.gamma = gamma;
+
+            Rng rng(config.seed);  // same folds for every grid point
+            const auto confusion = cross_validate(
+                data, config.folds, rng,
+                [&](const Dataset& train, const Dataset& test) {
+                    StandardScaler scaler;
+                    scaler.fit(train);
+                    MulticlassSvm svm(candidate);
+                    svm.train(scaler.transform(train));
+                    std::vector<int> predictions;
+                    predictions.reserve(test.size());
+                    for (std::size_t i = 0; i < test.size(); ++i) {
+                        predictions.push_back(svm.predict(
+                            scaler.transform(test.features(i))));
+                    }
+                    return predictions;
+                });
+
+            const double accuracy = confusion.accuracy();
+            result.evaluated.push_back({c, gamma, accuracy});
+            // Strictly-greater keeps the first (smallest C, then gamma)
+            // among ties: prefer the smoother model.
+            if (accuracy > result.best_accuracy) {
+                result.best_accuracy = accuracy;
+                result.best = candidate;
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace wimi::ml

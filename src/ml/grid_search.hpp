@@ -1,0 +1,48 @@
+// Cross-validated hyperparameter grid search for the SVM.
+//
+// The paper says only "the SVM classifier"; kernel and regularization are
+// unspecified. This utility selects (C, gamma) by stratified k-fold
+// cross-validation accuracy on the enrollment database — the standard way
+// a deployment would tune the classifier once per site.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/dataset.hpp"
+#include "ml/svm.hpp"
+
+namespace wimi::ml {
+
+/// Search space and protocol for tune_svm().
+struct GridSearchConfig {
+    std::vector<double> c_values = {1.0, 10.0, 100.0};
+    std::vector<double> gamma_values = {0.1, 0.3, 1.0, 3.0};
+    Kernel kernel = Kernel::kRbf;
+    std::size_t folds = 5;
+    std::uint64_t seed = 99;
+};
+
+/// One evaluated grid point.
+struct GridPoint {
+    double c = 0.0;
+    double gamma = 0.0;
+    double cv_accuracy = 0.0;
+};
+
+/// Result of a grid search: the winner plus every evaluated point.
+struct GridSearchResult {
+    SvmConfig best;            ///< ready to construct a MulticlassSvm with
+    double best_accuracy = 0.0;
+    std::vector<GridPoint> evaluated;
+};
+
+/// Evaluates every (C, gamma) combination by k-fold CV on `data`
+/// (features are z-scored per fold) and returns the best. Ties go to the
+/// smaller C, then smaller gamma (prefer the smoother model).
+GridSearchResult tune_svm(const Dataset& data,
+                          const GridSearchConfig& config = {});
+
+}  // namespace wimi::ml

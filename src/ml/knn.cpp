@@ -1,0 +1,62 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace wimi::ml {
+
+KnnClassifier::KnnClassifier(std::size_t k) : k_(k) {
+    ensure(k >= 1, "KnnClassifier: k must be >= 1");
+}
+
+void KnnClassifier::train(const Dataset& data) {
+    ensure(!data.empty(), "KnnClassifier::train: empty dataset");
+    data_ = data;
+}
+
+int KnnClassifier::predict(std::span<const double> features) const {
+    ensure(trained(), "KnnClassifier::predict: not trained");
+    ensure(features.size() == data_.feature_count(),
+           "KnnClassifier::predict: feature width mismatch");
+
+    std::vector<std::pair<double, int>> distances;  // (distance, label)
+    distances.reserve(data_.size());
+    for (std::size_t row = 0; row < data_.size(); ++row) {
+        const auto x = data_.features(row);
+        double dist_sq = 0.0;
+        for (std::size_t j = 0; j < x.size(); ++j) {
+            const double d = x[j] - features[j];
+            dist_sq += d * d;
+        }
+        distances.emplace_back(dist_sq, data_.label(row));
+    }
+    const std::size_t k = std::min(k_, distances.size());
+    std::partial_sort(distances.begin(),
+                      distances.begin() + static_cast<std::ptrdiff_t>(k),
+                      distances.end());
+
+    std::map<int, std::pair<int, double>> tally;  // label -> (count, dist)
+    for (std::size_t i = 0; i < k; ++i) {
+        auto& entry = tally[distances[i].second];
+        ++entry.first;
+        entry.second += std::sqrt(distances[i].first);
+    }
+    int best_label = distances.front().second;
+    int best_count = -1;
+    double best_dist = 0.0;
+    for (const auto& [label, stats] : tally) {
+        if (stats.first > best_count ||
+            (stats.first == best_count && stats.second < best_dist)) {
+            best_label = label;
+            best_count = stats.first;
+            best_dist = stats.second;
+        }
+    }
+    return best_label;
+}
+
+}  // namespace wimi::ml

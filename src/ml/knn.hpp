@@ -1,0 +1,34 @@
+// k-nearest-neighbour classifier.
+//
+// Baseline alternative to the SVM for the material database; also useful
+// in tests because its behaviour is fully predictable.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "ml/dataset.hpp"
+
+namespace wimi::ml {
+
+/// Euclidean-distance kNN with majority vote (distance-weighted ties).
+class KnnClassifier {
+public:
+    /// k must be >= 1.
+    explicit KnnClassifier(std::size_t k = 5);
+
+    /// Stores the training data (lazy learner).
+    void train(const Dataset& data);
+
+    /// Majority label among the k nearest training rows; ties broken by
+    /// the smaller summed distance. Requires train() first.
+    int predict(std::span<const double> features) const;
+
+    bool trained() const { return !data_.empty(); }
+
+private:
+    std::size_t k_;
+    Dataset data_;
+};
+
+}  // namespace wimi::ml

@@ -1,0 +1,140 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace wimi::ml {
+
+ConfusionMatrix::ConfusionMatrix(std::vector<int> labels,
+                                 std::vector<std::string> names)
+    : labels_(std::move(labels)), names_(std::move(names)) {
+    ensure(!labels_.empty(), "ConfusionMatrix: empty label set");
+    ensure(names_.empty() || names_.size() == labels_.size(),
+           "ConfusionMatrix: names/labels size mismatch");
+    if (names_.empty()) {
+        for (const int label : labels_) {
+            names_.push_back(std::to_string(label));
+        }
+    }
+    counts_.assign(labels_.size() * labels_.size(), 0);
+}
+
+std::size_t ConfusionMatrix::index_of(int label) const {
+    const auto it = std::find(labels_.begin(), labels_.end(), label);
+    ensure(it != labels_.end(), "ConfusionMatrix: unknown label");
+    return static_cast<std::size_t>(it - labels_.begin());
+}
+
+void ConfusionMatrix::record(int truth, int predicted) {
+    ++counts_[index_of(truth) * labels_.size() + index_of(predicted)];
+    ++total_;
+}
+
+std::size_t ConfusionMatrix::count(int truth, int predicted) const {
+    return counts_[index_of(truth) * labels_.size() + index_of(predicted)];
+}
+
+double ConfusionMatrix::rate(int truth, int predicted) const {
+    const std::size_t row = index_of(truth);
+    std::size_t row_total = 0;
+    for (std::size_t c = 0; c < labels_.size(); ++c) {
+        row_total += counts_[row * labels_.size() + c];
+    }
+    if (row_total == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(count(truth, predicted)) /
+           static_cast<double>(row_total);
+}
+
+double ConfusionMatrix::accuracy() const {
+    if (total_ == 0) {
+        return 0.0;
+    }
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < labels_.size(); ++i) {
+        correct += counts_[i * labels_.size() + i];
+    }
+    return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(int truth) const {
+    return rate(truth, truth);
+}
+
+double ConfusionMatrix::mean_recall() const {
+    double sum = 0.0;
+    std::size_t rows = 0;
+    for (std::size_t i = 0; i < labels_.size(); ++i) {
+        std::size_t row_total = 0;
+        for (std::size_t c = 0; c < labels_.size(); ++c) {
+            row_total += counts_[i * labels_.size() + c];
+        }
+        if (row_total > 0) {
+            sum += recall(labels_[i]);
+            ++rows;
+        }
+    }
+    return rows == 0 ? 0.0 : sum / static_cast<double>(rows);
+}
+
+void ConfusionMatrix::print(std::ostream& out, int precision) const {
+    std::size_t name_width = 4;
+    for (const auto& name : names_) {
+        name_width = std::max(name_width, name.size());
+    }
+    const int cell = precision + 4;
+    out << std::setw(static_cast<int>(name_width) + 2) << ' ';
+    for (const auto& name : names_) {
+        out << std::setw(cell)
+            << (name.size() > static_cast<std::size_t>(cell) - 1
+                    ? name.substr(0, static_cast<std::size_t>(cell) - 1)
+                    : name);
+    }
+    out << '\n';
+    for (std::size_t r = 0; r < labels_.size(); ++r) {
+        out << std::setw(static_cast<int>(name_width) + 2) << names_[r];
+        for (std::size_t c = 0; c < labels_.size(); ++c) {
+            out << std::setw(cell) << std::fixed
+                << std::setprecision(precision)
+                << rate(labels_[r], labels_[c]);
+        }
+        out << '\n';
+    }
+}
+
+ConfusionMatrix cross_validate(
+    const Dataset& data, std::size_t folds, Rng& rng,
+    const std::function<std::vector<int>(const Dataset&, const Dataset&)>&
+        train_and_predict,
+    std::vector<std::string> label_names) {
+    ensure(folds >= 2, "cross_validate: need at least 2 folds");
+    const auto assignment = stratified_folds(data, folds, rng);
+
+    ConfusionMatrix confusion(data.distinct_labels(),
+                              std::move(label_names));
+    for (std::size_t fold = 0; fold < folds; ++fold) {
+        std::vector<std::size_t> train_rows;
+        std::vector<std::size_t> test_rows;
+        for (std::size_t row = 0; row < data.size(); ++row) {
+            (assignment[row] == fold ? test_rows : train_rows).push_back(row);
+        }
+        if (test_rows.empty() || train_rows.empty()) {
+            continue;
+        }
+        const Dataset train = data.subset(train_rows);
+        const Dataset test = data.subset(test_rows);
+        const auto predictions = train_and_predict(train, test);
+        ensure(predictions.size() == test.size(),
+               "cross_validate: prediction count mismatch");
+        for (std::size_t i = 0; i < test.size(); ++i) {
+            confusion.record(test.label(i), predictions[i]);
+        }
+    }
+    return confusion;
+}
+
+}  // namespace wimi::ml

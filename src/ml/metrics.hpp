@@ -1,0 +1,68 @@
+// Classification metrics: confusion matrices (the paper's Figs. 15/16) and
+// accuracy summaries used by every evaluation bench.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/dataset.hpp"
+
+namespace wimi::ml {
+
+/// Row-normalized confusion matrix over a fixed label set.
+class ConfusionMatrix {
+public:
+    /// `labels` fixes the row/column order; `names` (optional, same size)
+    /// provides display names.
+    explicit ConfusionMatrix(std::vector<int> labels,
+                             std::vector<std::string> names = {});
+
+    /// Records one (truth, prediction) pair. Both labels must be known.
+    void record(int truth, int predicted);
+
+    /// Count of samples with true label `truth` predicted as `predicted`.
+    std::size_t count(int truth, int predicted) const;
+
+    /// Row-normalized rate in [0, 1]; 0 when the row is empty.
+    double rate(int truth, int predicted) const;
+
+    /// Overall accuracy = trace / total. 0 when empty.
+    double accuracy() const;
+
+    /// Recall of one class (diagonal rate). 0 when the row is empty.
+    double recall(int truth) const;
+
+    /// Mean of per-class recalls over non-empty rows (the "average
+    /// accuracy" the paper quotes for Fig. 15).
+    double mean_recall() const;
+
+    std::size_t total() const { return total_; }
+    std::span<const int> labels() const { return labels_; }
+
+    /// Prints the row-normalized matrix like the paper's Fig. 15.
+    void print(std::ostream& out, int precision = 2) const;
+
+private:
+    std::size_t index_of(int label) const;
+
+    std::vector<int> labels_;
+    std::vector<std::string> names_;
+    std::vector<std::size_t> counts_;  // row-major [truth][pred]
+    std::size_t total_ = 0;
+};
+
+/// Trains `classify` on each fold's complement and evaluates on the fold;
+/// returns the pooled confusion matrix. `train_and_predict` receives
+/// (train set, test set) and must return predictions for each test row.
+ConfusionMatrix cross_validate(
+    const Dataset& data, std::size_t folds, Rng& rng,
+    const std::function<std::vector<int>(const Dataset&, const Dataset&)>&
+        train_and_predict,
+    std::vector<std::string> label_names = {});
+
+}  // namespace wimi::ml

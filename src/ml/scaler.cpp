@@ -1,0 +1,59 @@
+#include "ml/scaler.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace wimi::ml {
+
+void StandardScaler::fit(const Dataset& data) {
+    ensure(!data.empty(), "StandardScaler::fit: empty dataset");
+    const std::size_t width = data.feature_count();
+    means_.assign(width, 0.0);
+    stddevs_.assign(width, 0.0);
+
+    for (std::size_t row = 0; row < data.size(); ++row) {
+        const auto x = data.features(row);
+        for (std::size_t j = 0; j < width; ++j) {
+            means_[j] += x[j];
+        }
+    }
+    for (double& m : means_) {
+        m /= static_cast<double>(data.size());
+    }
+    for (std::size_t row = 0; row < data.size(); ++row) {
+        const auto x = data.features(row);
+        for (std::size_t j = 0; j < width; ++j) {
+            const double d = x[j] - means_[j];
+            stddevs_[j] += d * d;
+        }
+    }
+    for (double& s : stddevs_) {
+        s = std::sqrt(s / static_cast<double>(data.size()));
+        if (s < 1e-12) {
+            s = 1.0;  // constant feature: pass through centered
+        }
+    }
+}
+
+std::vector<double> StandardScaler::transform(
+    std::span<const double> features) const {
+    ensure(fitted(), "StandardScaler::transform: fit() not called");
+    ensure(features.size() == means_.size(),
+           "StandardScaler::transform: feature width mismatch");
+    std::vector<double> out(features.size());
+    for (std::size_t j = 0; j < features.size(); ++j) {
+        out[j] = (features[j] - means_[j]) / stddevs_[j];
+    }
+    return out;
+}
+
+Dataset StandardScaler::transform(const Dataset& data) const {
+    Dataset out(data.feature_count());
+    for (std::size_t row = 0; row < data.size(); ++row) {
+        out.add(transform(data.features(row)), data.label(row));
+    }
+    return out;
+}
+
+}  // namespace wimi::ml

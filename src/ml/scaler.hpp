@@ -1,0 +1,37 @@
+// Feature standardization (z-score scaling).
+//
+// SVMs are scale-sensitive; WiMi's feature vector mixes the material
+// feature Omega (order 0.1) with raw phase differences (order 1), so the
+// pipeline standardizes features on the training set before classification.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace wimi::ml {
+
+/// Per-feature z-score scaler: x' = (x - mean) / std.
+class StandardScaler {
+public:
+    /// Learns per-feature means and standard deviations from `data`.
+    /// Constant features get unit scale (they pass through centered).
+    void fit(const Dataset& data);
+
+    /// Scales one feature vector. Requires fit() first and matching width.
+    std::vector<double> transform(std::span<const double> features) const;
+
+    /// Applies transform() to every row of `data`.
+    Dataset transform(const Dataset& data) const;
+
+    bool fitted() const { return !means_.empty(); }
+    std::span<const double> means() const { return means_; }
+    std::span<const double> stddevs() const { return stddevs_; }
+
+private:
+    std::vector<double> means_;
+    std::vector<double> stddevs_;
+};
+
+}  // namespace wimi::ml

@@ -1,0 +1,101 @@
+// Geometric multipath channel model.
+//
+// Simulates the complex baseband channel H[antenna][subcarrier] between one
+// transmitter and a multi-antenna receiver in an indoor environment:
+//
+//   H_a(f) = LoS_a(f) * T_a(f)  +  sum_m ray_m,a(f)  +  diffraction_a(f)
+//
+//  * LoS_a(f): free-space line-of-sight ray with exact geometric delay per
+//    antenna. T_a(f) is the excess transmission through the beaker on that
+//    ray — container walls plus the liquid column (paper Eq. 2–4) — using
+//    the per-antenna chord lengths from rf::geometry scaled by the
+//    effective-medium factor kappa (see DESIGN.md).
+//  * ray_m,a(f): non-LoS reflections drawn from the environment preset
+//    (count, Rician K, delay spread). Rays have a random angle of arrival,
+//    so each antenna sees a slightly different phase — reproducing the
+//    different per-pair variances of the paper's Figs. 10/21 — and each
+//    packet re-draws small amplitude/phase jitter, reproducing the
+//    per-subcarrier variance structure of Fig. 6.
+//  * diffraction_a(f): an incoherent creeping-wave component that grows as
+//    the beaker diameter shrinks below the wavelength, reproducing the
+//    accuracy collapse of Fig. 19 at the 3.2 cm beaker.
+//
+// Hardware impairments (CFO/SFO/PBD, quantization, impulse noise) are NOT
+// applied here; see csi::ImpairmentModel.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "rf/environment.hpp"
+#include "rf/geometry.hpp"
+#include "rf/material.hpp"
+
+namespace wimi::rf {
+
+/// What is standing on the LoS link for a measurement.
+struct TargetScene {
+    Beaker beaker;
+    /// Liquid inside the beaker; nullptr means the beaker is empty (air),
+    /// which is the paper's baseline measurement.
+    const MaterialProperties* contents = nullptr;
+    /// Effective-medium scale on the interior chord (DESIGN.md): the
+    /// fraction of the geometric chord over which bulk material
+    /// absorption/retardation effectively acts on the received energy.
+    double effective_path_fraction = 0.066;
+    /// Floor on the *common-mode* amplitude attenuation of the through
+    /// path [dB, negative]. Bulk absorption across a water-filled beaker
+    /// exceeds 100 dB; what actually arrives is edge-diffracted energy
+    /// that grazes the beaker, follows almost the same geometry (so keeps
+    /// the differential antenna structure), but does not suffer the full
+    /// bulk loss. The differential (antenna-to-antenna) part of the
+    /// attenuation is never capped. See DESIGN.md.
+    double min_common_transmission_db = -8.0;
+};
+
+/// Static configuration of one channel realization.
+struct ChannelConfig {
+    Deployment deployment;
+    EnvironmentSpec environment;
+    /// Seed for the reflector realization (positions, phases, AoAs). Two
+    /// models with the same config and seed are identical environments.
+    std::uint64_t seed = 1;
+};
+
+/// Per-packet channel matrix: outer index antenna, inner index subcarrier.
+using ChannelMatrix = std::vector<std::vector<Complex>>;
+
+/// One realization of an indoor channel; sample() draws per-packet states.
+class ChannelModel {
+public:
+    explicit ChannelModel(const ChannelConfig& config);
+
+    /// Draws the clean (impairment-free) channel for one packet.
+    /// `frequencies_hz` lists the subcarrier center frequencies; `scene`
+    /// may be nullptr for a fully empty link (no beaker at all).
+    ChannelMatrix sample(std::span<const double> frequencies_hz,
+                         const TargetScene* scene, Rng& packet_rng) const;
+
+    /// Number of receiver antennas this model serves.
+    std::size_t antenna_count() const {
+        return config_.deployment.rx_antenna_count;
+    }
+
+    const ChannelConfig& config() const { return config_; }
+
+private:
+    struct Reflector {
+        double excess_delay_s = 0.0;  ///< delay beyond the LoS delay
+        double amplitude = 0.0;       ///< field amplitude relative to LoS
+        double phase_offset = 0.0;    ///< reflection phase [rad]
+        double aoa_rad = 0.0;         ///< angle of arrival at the array
+    };
+
+    ChannelConfig config_;
+    std::vector<Reflector> reflectors_;
+};
+
+}  // namespace wimi::rf

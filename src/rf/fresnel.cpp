@@ -1,0 +1,57 @@
+#include "rf/fresnel.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace wimi::rf {
+namespace {
+
+/// Relative intrinsic impedance 1/sqrt(eps_r) (eta0 cancels in ratios).
+Complex relative_impedance(const MaterialProperties& material,
+                           double frequency_hz) {
+    const Complex eps = material.relative_permittivity(frequency_hz);
+    const Complex root = std::sqrt(eps);
+    ensure(std::abs(root) > 0.0, "fresnel: degenerate permittivity");
+    return Complex(1.0, 0.0) / root;
+}
+
+}  // namespace
+
+Complex reflection_coefficient(const MaterialProperties& from,
+                               const MaterialProperties& to,
+                               double frequency_hz) {
+    const Complex eta1 = relative_impedance(from, frequency_hz);
+    const Complex eta2 = relative_impedance(to, frequency_hz);
+    return (eta2 - eta1) / (eta2 + eta1);
+}
+
+Complex transmission_coefficient(const MaterialProperties& from,
+                                 const MaterialProperties& to,
+                                 double frequency_hz) {
+    const Complex eta1 = relative_impedance(from, frequency_hz);
+    const Complex eta2 = relative_impedance(to, frequency_hz);
+    return 2.0 * eta2 / (eta2 + eta1);
+}
+
+Complex container_interface_transmission(const MaterialProperties& wall,
+                                         const MaterialProperties& contents,
+                                         double frequency_hz) {
+    const Complex t1 =
+        transmission_coefficient(air(), wall, frequency_hz);
+    const Complex t2 =
+        transmission_coefficient(wall, contents, frequency_hz);
+    const Complex t3 =
+        transmission_coefficient(contents, wall, frequency_hz);
+    const Complex t4 =
+        transmission_coefficient(wall, air(), frequency_hz);
+    return t1 * t2 * t3 * t4;
+}
+
+double power_reflectance(const MaterialProperties& from,
+                         const MaterialProperties& to,
+                         double frequency_hz) {
+    return std::norm(reflection_coefficient(from, to, frequency_hz));
+}
+
+}  // namespace wimi::rf

@@ -1,0 +1,44 @@
+// Fresnel reflection/transmission at dielectric interfaces.
+//
+// The through-ray crosses four interfaces (air->wall, wall->liquid,
+// liquid->wall, wall->air). Each crossing transmits only part of the
+// field; the rest reflects. These factors are identical for every receiver
+// antenna (the incidence geometry differs negligibly across the array), so
+// they cancel exactly in WiMi's antenna ratios — but modeling them keeps
+// the absolute simulated RSS honest and provides the physics for the
+// metal-container caveat (|T| -> 0 as conductivity -> inf).
+//
+// Normal incidence on non-magnetic media: with intrinsic impedance
+// eta = eta0 / sqrt(eps_r),
+//   r = (eta2 - eta1) / (eta2 + eta1),   t = 2 eta2 / (eta2 + eta1).
+#pragma once
+
+#include "common/math.hpp"
+#include "rf/material.hpp"
+
+namespace wimi::rf {
+
+/// Complex field reflection coefficient r for a wave in `from` hitting a
+/// plane interface with `to`, at normal incidence.
+Complex reflection_coefficient(const MaterialProperties& from,
+                               const MaterialProperties& to,
+                               double frequency_hz);
+
+/// Complex field transmission coefficient t across the same interface.
+Complex transmission_coefficient(const MaterialProperties& from,
+                                 const MaterialProperties& to,
+                                 double frequency_hz);
+
+/// Combined field transmission factor of the full container crossing:
+/// air -> wall -> contents -> wall -> air (four interfaces). Wall and
+/// bulk propagation phases/attenuations are NOT included — this is the
+/// interface-only factor that multiplies the propagation terms.
+Complex container_interface_transmission(const MaterialProperties& wall,
+                                         const MaterialProperties& contents,
+                                         double frequency_hz);
+
+/// Fraction of incident *power* reflected at one interface, |r|^2.
+double power_reflectance(const MaterialProperties& from,
+                         const MaterialProperties& to, double frequency_hz);
+
+}  // namespace wimi::rf

@@ -1,0 +1,93 @@
+#include "rf/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace wimi::rf {
+
+Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+Vec2 operator*(double s, Vec2 v) { return {s * v.x, s * v.y}; }
+double dot(Vec2 a, Vec2 b) { return a.x * b.x + a.y * b.y; }
+double norm(Vec2 v) { return std::sqrt(dot(v, v)); }
+double distance(Vec2 a, Vec2 b) { return norm(a - b); }
+
+double chord_length(Vec2 a, Vec2 b, Vec2 center, double radius) {
+    ensure(radius >= 0.0, "chord_length: radius must be non-negative");
+    const Vec2 d = b - a;
+    const double seg_len = norm(d);
+    if (seg_len == 0.0) {
+        return 0.0;
+    }
+    // Parameterize p(t) = a + t d, t in [0, 1]; intersect |p - c| = r.
+    const Vec2 f = a - center;
+    const double A = dot(d, d);
+    const double B = 2.0 * dot(f, d);
+    const double C = dot(f, f) - radius * radius;
+    const double discriminant = B * B - 4.0 * A * C;
+    if (discriminant <= 0.0) {
+        return 0.0;  // miss or tangent
+    }
+    const double sqrt_disc = std::sqrt(discriminant);
+    const double t0 = std::clamp((-B - sqrt_disc) / (2.0 * A), 0.0, 1.0);
+    const double t1 = std::clamp((-B + sqrt_disc) / (2.0 * A), 0.0, 1.0);
+    return (t1 - t0) * seg_len;
+}
+
+Vec2 Deployment::rx_antenna(std::size_t index) const {
+    ensure(index < rx_antenna_count, "Deployment: antenna index out of range");
+    return rx_reference +
+           Vec2{0.0, static_cast<double>(index) * rx_antenna_spacing_m};
+}
+
+double Deployment::los_distance(std::size_t antenna_index) const {
+    return distance(tx, rx_antenna(antenna_index));
+}
+
+Deployment make_standard_deployment(double link_distance_m) {
+    ensure(link_distance_m > 0.0,
+           "make_standard_deployment: link distance must be positive");
+    Deployment d;
+    d.tx = {0.0, 0.0};
+    d.rx_reference = {link_distance_m, 0.0};
+    d.rx_antenna_count = 3;
+    d.rx_antenna_spacing_m = 0.10;
+    return d;
+}
+
+Beaker make_centered_beaker(const Deployment& deployment,
+                            double outer_diameter_m,
+                            ContainerMaterial wall) {
+    ensure(outer_diameter_m > 0.0,
+           "make_centered_beaker: diameter must be positive");
+    Beaker b;
+    b.center = 0.5 * (deployment.tx + deployment.rx_reference);
+    b.outer_diameter_m = outer_diameter_m;
+    b.wall_material = wall;
+    ensure(b.inner_radius() > 0.0,
+           "make_centered_beaker: wall thicker than radius");
+    return b;
+}
+
+TargetPathLengths target_path_lengths(const Deployment& deployment,
+                                      const Beaker& beaker) {
+    TargetPathLengths out;
+    out.interior_m.reserve(deployment.rx_antenna_count);
+    out.wall_m.reserve(deployment.rx_antenna_count);
+    for (std::size_t a = 0; a < deployment.rx_antenna_count; ++a) {
+        const Vec2 rx = deployment.rx_antenna(a);
+        const double through_outer =
+            chord_length(deployment.tx, rx, beaker.center,
+                         beaker.outer_radius());
+        const double through_inner =
+            chord_length(deployment.tx, rx, beaker.center,
+                         beaker.inner_radius());
+        out.interior_m.push_back(through_inner);
+        out.wall_m.push_back(through_outer - through_inner);
+    }
+    return out;
+}
+
+}  // namespace wimi::rf

@@ -1,0 +1,90 @@
+// Deployment geometry: transceiver placement, the receiver antenna array,
+// and chord lengths of rays through the cylindrical beaker.
+//
+// The per-antenna in-target path lengths D1, D2 of the paper's Eq. 14–19
+// come from here: the three receiver antennas sit at slightly different
+// positions, so their LoS rays cut chords of different lengths through the
+// beaker, and D1 - D2 is exactly the quantity the material feature
+// (Eq. 20–21) depends on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rf/material.hpp"
+
+namespace wimi::rf {
+
+/// 2-D point/vector [m]. The deployment is planar (top view), matching the
+/// paper's tabletop setup.
+struct Vec2 {
+    double x = 0.0;
+    double y = 0.0;
+};
+
+Vec2 operator+(Vec2 a, Vec2 b);
+Vec2 operator-(Vec2 a, Vec2 b);
+Vec2 operator*(double s, Vec2 v);
+double dot(Vec2 a, Vec2 b);
+double norm(Vec2 v);
+double distance(Vec2 a, Vec2 b);
+
+/// Length of the intersection of segment [a, b] with the disc
+/// (center, radius); 0 when the segment misses the disc.
+double chord_length(Vec2 a, Vec2 b, Vec2 center, double radius);
+
+/// The beaker: a cylinder with a wall, standing on the LoS link.
+struct Beaker {
+    Vec2 center;                 ///< cylinder axis position (top view)
+    double outer_diameter_m = 0.143;  ///< paper default: 14.3 cm
+    double wall_thickness_m = 0.004;
+    ContainerMaterial wall_material = ContainerMaterial::kPlastic;
+
+    double outer_radius() const { return outer_diameter_m / 2.0; }
+    double inner_radius() const {
+        return outer_diameter_m / 2.0 - wall_thickness_m;
+    }
+};
+
+/// Geometry of one transmitter + one multi-antenna receiver.
+struct Deployment {
+    Vec2 tx;                        ///< transmit antenna position
+    Vec2 rx_reference;              ///< position of receiver antenna 1
+    std::size_t rx_antenna_count = 3;
+    /// Spacing of the receiver's external antennas. The paper's Fig. 11
+    /// shows the three Intel 5300 antennas mounted on stands spread across
+    /// a desk; 10 cm spacing gives the LoS rays chords through the beaker
+    /// whose D1-D2 difference (mm-cm scale) is the signal the material
+    /// feature is built on.
+    double rx_antenna_spacing_m = 0.10;
+
+    /// Antenna `index` (0-based) position; antennas are laid out along +y
+    /// from the reference, i.e. perpendicular to a +x-pointing link.
+    Vec2 rx_antenna(std::size_t index) const;
+
+    /// Straight-line Tx -> antenna distance [m].
+    double los_distance(std::size_t antenna_index) const;
+};
+
+/// Builds the paper's canonical deployment: Tx at the origin, receiver
+/// `link_distance_m` away on the x-axis, beaker centered on the LoS at the
+/// midpoint. Requires link_distance_m > 0.
+Deployment make_standard_deployment(double link_distance_m);
+
+/// Beaker centered on the LoS of `deployment` (at the link midpoint).
+Beaker make_centered_beaker(const Deployment& deployment,
+                            double outer_diameter_m,
+                            ContainerMaterial wall = ContainerMaterial::kPlastic);
+
+/// Per-antenna path lengths through the beaker interior (the liquid column)
+/// and through the two wall crossings, for the LoS ray of each antenna.
+struct TargetPathLengths {
+    std::vector<double> interior_m;  ///< liquid chord per antenna
+    std::vector<double> wall_m;      ///< total wall path per antenna
+};
+
+/// Computes interior and wall path lengths for every receiver antenna.
+TargetPathLengths target_path_lengths(const Deployment& deployment,
+                                      const Beaker& beaker);
+
+}  // namespace wimi::rf

@@ -1,0 +1,61 @@
+#include "rf/mixture.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace wimi::rf {
+
+Complex effective_permittivity(const MaterialProperties& host,
+                               const MaterialProperties& inclusion,
+                               double inclusion_fraction,
+                               double frequency_hz, MixingRule rule) {
+    ensure(inclusion_fraction >= 0.0 && inclusion_fraction <= 1.0,
+           "effective_permittivity: fraction must be in [0, 1]");
+    const Complex eps_h = host.relative_permittivity(frequency_hz);
+    const Complex eps_i = inclusion.relative_permittivity(frequency_hz);
+    switch (rule) {
+        case MixingRule::kLinear:
+            return (1.0 - inclusion_fraction) * eps_h +
+                   inclusion_fraction * eps_i;
+        case MixingRule::kMaxwellGarnett: {
+            // eps_eff = eps_h (1 + 2 f b) / (1 - f b),
+            // b = (eps_i - eps_h) / (eps_i + 2 eps_h).
+            const Complex b = (eps_i - eps_h) / (eps_i + 2.0 * eps_h);
+            return eps_h * (1.0 + 2.0 * inclusion_fraction * b) /
+                   (1.0 - inclusion_fraction * b);
+        }
+    }
+    fail("effective_permittivity: unknown mixing rule");
+}
+
+MixedMaterial::MixedMaterial(const MaterialProperties& host,
+                             const MaterialProperties& inclusion,
+                             double inclusion_fraction,
+                             double reference_frequency_hz,
+                             MixingRule rule) {
+    const Complex eps =
+        effective_permittivity(host, inclusion, inclusion_fraction,
+                               reference_frequency_hz, rule);
+    ensure(eps.real() > 0.0,
+           "MixedMaterial: non-physical effective permittivity");
+
+    name_ = std::string(host.name) + " + " +
+            std::to_string(static_cast<int>(
+                std::round(inclusion_fraction * 100.0))) +
+            "% " + std::string(inclusion.name);
+
+    // Non-dispersive Debye-equivalent anchored at the reference frequency:
+    // eps_inf = eps_static = eps', and the loss expressed via an
+    // equivalent conductivity so eps'' matches exactly at the anchor.
+    properties_.name = name_;
+    properties_.eps_inf = eps.real();
+    properties_.eps_static = eps.real();
+    properties_.relaxation_time_s = 0.0;
+    properties_.conductivity = -eps.imag() * kTwoPi *
+                               reference_frequency_hz *
+                               kVacuumPermittivity;
+    properties_.conductor = false;
+}
+
+}  // namespace wimi::rf

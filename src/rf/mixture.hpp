@@ -1,0 +1,58 @@
+// Dielectric mixtures.
+//
+// The paper's Discussion admits WiMi "cannot identify the target's
+// material if it is comprised of two or more materials". This module
+// provides the substrate to *demonstrate* that limitation: an effective
+// permittivity for a two-liquid mixture so a mixed target can be put on
+// the simulated link (see bench_limitation_mixture).
+//
+// Two classic mixing rules are provided: the linear (volume-weighted)
+// rule, adequate for miscible liquids with similar polarity, and the
+// Maxwell Garnett rule for an inclusion phase dispersed in a host.
+#pragma once
+
+#include <string>
+
+#include "rf/material.hpp"
+
+namespace wimi::rf {
+
+/// Mixing rule for effective_permittivity().
+enum class MixingRule {
+    kLinear,          ///< eps = (1-f) eps_host + f eps_inclusion
+    kMaxwellGarnett,  ///< spherical inclusions in a host matrix
+};
+
+/// Effective complex permittivity of a two-phase mixture at one frequency.
+/// `inclusion_fraction` is the volume fraction of `inclusion` in `host`,
+/// in [0, 1].
+Complex effective_permittivity(const MaterialProperties& host,
+                               const MaterialProperties& inclusion,
+                               double inclusion_fraction,
+                               double frequency_hz,
+                               MixingRule rule = MixingRule::kLinear);
+
+/// A mixed liquid usable as TargetScene contents. Holds its own storage
+/// for the name; the MaterialProperties view stays valid as long as the
+/// MixedMaterial lives.
+class MixedMaterial {
+public:
+    /// Builds a mixture whose Debye-equivalent parameters reproduce the
+    /// effective permittivity at `reference_frequency_hz`. (A two-phase
+    /// Debye mixture is not exactly single-pole; the fit anchors eps' and
+    /// eps'' at the reference frequency, which is all the narrow 20 MHz
+    /// Wi-Fi band probes.)
+    MixedMaterial(const MaterialProperties& host,
+                  const MaterialProperties& inclusion,
+                  double inclusion_fraction, double reference_frequency_hz,
+                  MixingRule rule = MixingRule::kLinear);
+
+    const MaterialProperties& properties() const { return properties_; }
+    const std::string& name() const { return name_; }
+
+private:
+    std::string name_;
+    MaterialProperties properties_;
+};
+
+}  // namespace wimi::rf

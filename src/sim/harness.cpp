@@ -1,0 +1,117 @@
+#include "sim/harness.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/knn.hpp"
+#include "ml/scaler.hpp"
+#include "ml/svm.hpp"
+
+namespace wimi::sim {
+namespace {
+
+/// Fold-local train/predict closure matching the experiment's classifier.
+std::vector<int> train_and_predict(const ml::Dataset& train,
+                                   const ml::Dataset& test,
+                                   const core::WimiConfig& config) {
+    ml::StandardScaler scaler;
+    scaler.fit(train);
+    const ml::Dataset scaled_train = scaler.transform(train);
+
+    std::vector<int> predictions;
+    predictions.reserve(test.size());
+    switch (config.classifier) {
+        case core::ClassifierKind::kSvm: {
+            ml::MulticlassSvm svm(config.svm);
+            svm.train(scaled_train);
+            for (std::size_t i = 0; i < test.size(); ++i) {
+                predictions.push_back(
+                    svm.predict(scaler.transform(test.features(i))));
+            }
+            break;
+        }
+        case core::ClassifierKind::kKnn: {
+            ml::KnnClassifier knn(config.knn_k);
+            knn.train(scaled_train);
+            for (std::size_t i = 0; i < test.size(); ++i) {
+                predictions.push_back(
+                    knn.predict(scaler.transform(test.features(i))));
+            }
+            break;
+        }
+    }
+    return predictions;
+}
+
+}  // namespace
+
+core::Wimi make_calibrated_wimi(const ExperimentConfig& config) {
+    const Scenario scenario(config.scenario);
+    core::Wimi wimi(config.wimi);
+    // Calibration uses its own session, like surveying the deployment
+    // before the measurement campaign starts.
+    const auto reference =
+        scenario.capture_reference(config.seed ^ 0xCA11B8A7EULL);
+    wimi.calibrate(reference);
+    return wimi;
+}
+
+ml::Dataset build_feature_dataset(const ExperimentConfig& config,
+                                  const core::Wimi& wimi) {
+    ensure(!config.liquids.empty(),
+           "build_feature_dataset: no liquids configured");
+    ensure(config.repetitions >= 1,
+           "build_feature_dataset: repetitions must be >= 1");
+
+    const Scenario scenario(config.scenario);
+    Rng rng(config.seed);
+
+    ml::Dataset data;
+    for (std::size_t li = 0; li < config.liquids.size(); ++li) {
+        for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+            // Each repetition is a fresh capture session with the beaker
+            // repositioned imperfectly, as when an experimenter swaps and
+            // refills it.
+            const rf::Vec2 offset{
+                rng.gaussian(0.0, config.position_jitter_m),
+                rng.gaussian(0.0, config.position_jitter_m)};
+            const auto pair = scenario.capture_measurement(
+                config.liquids[li], rng.next_u64(), offset);
+            data.add(wimi.features(pair.baseline, pair.target),
+                     static_cast<int>(li));
+        }
+    }
+    return data;
+}
+
+ExperimentResult evaluate_dataset(const ml::Dataset& data,
+                                  const ExperimentConfig& config,
+                                  std::vector<std::string> class_names) {
+    ensure(config.cv_folds >= 2, "evaluate_dataset: cv_folds must be >= 2");
+    Rng rng(config.seed ^ 0xF01D5EEDULL);
+    auto confusion = ml::cross_validate(
+        data, config.cv_folds, rng,
+        [&](const ml::Dataset& train, const ml::Dataset& test) {
+            return train_and_predict(train, test, config.wimi);
+        },
+        class_names);
+    ExperimentResult result{std::move(confusion), 0.0, 0.0,
+                            std::move(class_names)};
+    result.accuracy = result.confusion.accuracy();
+    result.mean_recall = result.confusion.mean_recall();
+    return result;
+}
+
+ExperimentResult run_identification_experiment(
+    const ExperimentConfig& config) {
+    const core::Wimi wimi = make_calibrated_wimi(config);
+    const ml::Dataset data = build_feature_dataset(config, wimi);
+
+    std::vector<std::string> names;
+    names.reserve(config.liquids.size());
+    for (const rf::Liquid liquid : config.liquids) {
+        names.emplace_back(rf::liquid_name(liquid));
+    }
+    return evaluate_dataset(data, config, std::move(names));
+}
+
+}  // namespace wimi::sim

@@ -1,0 +1,61 @@
+// Experiment harness: dataset generation + cross-validated identification.
+//
+// Reproduces the paper's evaluation procedure: for each liquid, repeat the
+// baseline/target measurement `repetitions` times (the paper uses 20),
+// extract feature vectors with a calibrated WiMi instance, and report the
+// stratified cross-validated confusion matrix of the classifier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/wimi.hpp"
+#include "ml/metrics.hpp"
+#include "rf/material.hpp"
+#include "sim/scenario.hpp"
+
+namespace wimi::sim {
+
+/// Full configuration of one identification experiment.
+struct ExperimentConfig {
+    ScenarioConfig scenario;
+    std::vector<rf::Liquid> liquids{rf::all_liquids().begin(),
+                                    rf::all_liquids().end()};
+    std::size_t repetitions = 20;  ///< measurements per liquid (paper: 20)
+    core::WimiConfig wimi;
+    std::size_t cv_folds = 5;
+    /// Std-dev of the beaker repositioning between repetitions [m].
+    double position_jitter_m = 0.004;
+    std::uint64_t seed = 7;
+};
+
+/// Outcome of one identification experiment.
+struct ExperimentResult {
+    ml::ConfusionMatrix confusion;
+    double accuracy = 0.0;      ///< overall accuracy
+    double mean_recall = 0.0;   ///< the paper's "average accuracy"
+    std::vector<std::string> class_names;
+};
+
+/// A calibrated WiMi instance for the experiment's scenario: captures a
+/// reference series and runs Wimi::calibrate on it.
+core::Wimi make_calibrated_wimi(const ExperimentConfig& config);
+
+/// Captures every (liquid x repetition) measurement and extracts feature
+/// vectors with `wimi`. Labels are indices into config.liquids.
+ml::Dataset build_feature_dataset(const ExperimentConfig& config,
+                                  const core::Wimi& wimi);
+
+/// End-to-end: calibrate, build dataset, cross-validate the classifier.
+ExperimentResult run_identification_experiment(
+    const ExperimentConfig& config);
+
+/// Cross-validates `data` with the experiment's classifier settings and
+/// returns the pooled confusion matrix (exposed for benches that build
+/// custom datasets).
+ExperimentResult evaluate_dataset(const ml::Dataset& data,
+                                  const ExperimentConfig& config,
+                                  std::vector<std::string> class_names);
+
+}  // namespace wimi::sim

@@ -1,0 +1,58 @@
+#include "sim/scenario.hpp"
+
+#include "common/error.hpp"
+
+namespace wimi::sim {
+
+Scenario::Scenario(const ScenarioConfig& config)
+    : config_(config),
+      deployment_(rf::make_standard_deployment(config.link_distance_m)),
+      beaker_(rf::make_centered_beaker(deployment_, config.beaker_diameter_m,
+                                       config.container)) {
+    ensure(config.packets >= 1, "Scenario: packets must be >= 1");
+    ensure(config.effective_path_fraction > 0.0 &&
+               config.effective_path_fraction <= 1.0,
+           "Scenario: effective_path_fraction must be in (0, 1]");
+}
+
+rf::TargetScene Scenario::scene(const rf::MaterialProperties* contents,
+                                rf::Vec2 center_offset) const {
+    rf::TargetScene s;
+    s.beaker = beaker_;
+    s.beaker.center = s.beaker.center + center_offset;
+    s.contents = contents;
+    s.effective_path_fraction = config_.effective_path_fraction;
+    return s;
+}
+
+csi::CaptureSimulator Scenario::make_session(
+    std::uint64_t session_seed) const {
+    csi::CaptureConfig capture;
+    capture.channel.deployment = deployment_;
+    capture.channel.environment = rf::environment_spec(config_.environment);
+    capture.channel.seed = config_.environment_seed;
+    capture.impairments = config_.impairments;
+    capture.quantize = config_.quantize_csi;
+    capture.seed = session_seed;
+    return csi::CaptureSimulator(capture);
+}
+
+MeasurementPair Scenario::capture_measurement(rf::Liquid liquid,
+                                              std::uint64_t session_seed,
+                                              rf::Vec2 beaker_offset) const {
+    auto session = make_session(session_seed);
+    MeasurementPair pair;
+    pair.baseline =
+        session.capture(scene(nullptr, beaker_offset), config_.packets);
+    pair.target = session.capture(
+        scene(&rf::material_for(liquid), beaker_offset), config_.packets);
+    return pair;
+}
+
+csi::CsiSeries Scenario::capture_reference(std::uint64_t session_seed,
+                                           std::size_t packets) const {
+    auto session = make_session(session_seed);
+    return session.capture(scene(nullptr), packets);
+}
+
+}  // namespace wimi::sim

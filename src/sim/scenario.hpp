@@ -1,0 +1,80 @@
+// Experiment scenario: one physical setup of the paper's evaluation.
+//
+// A Scenario bundles everything that defines a measurement campaign —
+// environment, link distance, beaker, effective-medium factor, packet
+// budget, impairment settings — and manufactures the capture simulators
+// and target scenes the harness needs. All evaluation sweeps (distance,
+// packets, beaker size, container material, antenna pairs) are expressed
+// as edits to a ScenarioConfig.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "csi/capture.hpp"
+#include "rf/channel.hpp"
+#include "rf/environment.hpp"
+#include "rf/geometry.hpp"
+#include "rf/material.hpp"
+
+namespace wimi::sim {
+
+/// Declarative description of one experimental setup.
+struct ScenarioConfig {
+    rf::Environment environment = rf::Environment::kLab;
+    double link_distance_m = 2.0;             ///< paper default
+    double beaker_diameter_m = 0.143;         ///< paper default (Size 1)
+    rf::ContainerMaterial container = rf::ContainerMaterial::kPlastic;
+    /// Effective-medium factor kappa (see DESIGN.md substitution table).
+    double effective_path_fraction = 0.066;
+    std::size_t packets = 20;                 ///< paper's chosen budget
+    csi::ImpairmentConfig impairments;
+    /// Seed of the channel realization (the "room"). Experiments that
+    /// compare settings within one environment share this seed.
+    std::uint64_t environment_seed = 1;
+    bool quantize_csi = true;
+};
+
+/// One baseline + target capture pair (the paper's measurement procedure:
+/// record with the empty beaker, pour the liquid, record again).
+struct MeasurementPair {
+    csi::CsiSeries baseline;
+    csi::CsiSeries target;
+};
+
+/// Factory for capture sessions and scenes under one setup.
+class Scenario {
+public:
+    explicit Scenario(const ScenarioConfig& config);
+
+    const ScenarioConfig& config() const { return config_; }
+
+    /// The deployment geometry (Tx, Rx array) of this scenario.
+    const rf::Deployment& deployment() const { return deployment_; }
+
+    /// The scene with the beaker holding `contents` (nullptr = empty).
+    /// `center_offset` displaces the beaker from the LoS midpoint, modeling
+    /// imperfect repositioning between repetitions.
+    rf::TargetScene scene(const rf::MaterialProperties* contents,
+                          rf::Vec2 center_offset = {}) const;
+
+    /// A capture session (fixed per-chain offsets) with the given seed.
+    csi::CaptureSimulator make_session(std::uint64_t session_seed) const;
+
+    /// Captures one baseline/target pair within one session: `packets`
+    /// frames with the empty beaker, then with `liquid` poured in.
+    MeasurementPair capture_measurement(rf::Liquid liquid,
+                                        std::uint64_t session_seed,
+                                        rf::Vec2 beaker_offset = {}) const;
+
+    /// A longer reference capture (empty beaker) for calibration.
+    csi::CsiSeries capture_reference(std::uint64_t session_seed,
+                                     std::size_t packets = 100) const;
+
+private:
+    ScenarioConfig config_;
+    rf::Deployment deployment_;
+    rf::Beaker beaker_;
+};
+
+}  // namespace wimi::sim

@@ -1,0 +1,137 @@
+// Tests for the CSI capture simulator.
+#include "csi/capture.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "rf/geometry.hpp"
+
+namespace wimi::csi {
+namespace {
+
+CaptureConfig lab_config(std::uint64_t seed = 5) {
+    CaptureConfig config;
+    config.channel.deployment = rf::make_standard_deployment(2.0);
+    config.channel.environment =
+        rf::environment_spec(rf::Environment::kLab);
+    config.channel.seed = 1;
+    config.seed = seed;
+    return config;
+}
+
+rf::TargetScene milk_scene(const CaptureConfig& config) {
+    rf::TargetScene scene;
+    scene.beaker =
+        rf::make_centered_beaker(config.channel.deployment, 0.143);
+    scene.contents = &rf::material_for(rf::Liquid::kMilk);
+    return scene;
+}
+
+TEST(Capture, SeriesDimensionsAndTimestamps) {
+    CaptureSimulator sim(lab_config());
+    const auto series = sim.capture(std::nullopt, 10);
+    EXPECT_EQ(series.packet_count(), 10u);
+    EXPECT_EQ(series.antenna_count(), 3u);
+    EXPECT_EQ(series.subcarrier_count(), kSubcarrierCount);
+    series.validate();
+    for (std::size_t p = 0; p < 10; ++p) {
+        EXPECT_NEAR(series.frames[p].timestamp_s, 0.01 * p, 1e-12);
+    }
+}
+
+TEST(Capture, Deterministic) {
+    CaptureSimulator a(lab_config());
+    CaptureSimulator b(lab_config());
+    const auto sa = a.capture(std::nullopt, 5);
+    const auto sb = b.capture(std::nullopt, 5);
+    for (std::size_t p = 0; p < 5; ++p) {
+        for (std::size_t i = 0; i < sa.frames[p].raw().size(); ++i) {
+            EXPECT_EQ(sa.frames[p].raw()[i], sb.frames[p].raw()[i]);
+        }
+    }
+}
+
+TEST(Capture, DifferentSessionsDiffer) {
+    CaptureSimulator a(lab_config(5));
+    CaptureSimulator b(lab_config(6));
+    const auto sa = a.capture(std::nullopt, 1);
+    const auto sb = b.capture(std::nullopt, 1);
+    EXPECT_NE(sa.frames[0].at(0, 0), sb.frames[0].at(0, 0));
+}
+
+TEST(Capture, TargetChangesChannel) {
+    CaptureConfig config = lab_config();
+    CaptureSimulator sim(config);
+    const auto baseline = sim.capture(std::nullopt, 4);
+    const auto target = sim.capture(milk_scene(config), 4);
+    // Milk on the LoS must change the measured CSI markedly.
+    double diff = 0.0;
+    double ref = 0.0;
+    for (std::size_t k = 0; k < kSubcarrierCount; ++k) {
+        diff += std::abs(target.frames[0].at(0, k) -
+                         baseline.frames[0].at(0, k));
+        ref += std::abs(baseline.frames[0].at(0, k));
+    }
+    EXPECT_GT(diff / ref, 0.2);
+}
+
+TEST(Capture, RssiReflectsAttenuation) {
+    CaptureConfig config = lab_config();
+    CaptureSimulator sim(config);
+    const auto baseline = sim.capture(std::nullopt, 8);
+    const auto target = sim.capture(milk_scene(config), 8);
+    double base_rssi = 0.0;
+    double target_rssi = 0.0;
+    for (std::size_t p = 0; p < 8; ++p) {
+        base_rssi += baseline.frames[p].rssi_dbm;
+        target_rssi += target.frames[p].rssi_dbm;
+    }
+    EXPECT_LT(target_rssi, base_rssi);
+}
+
+TEST(Capture, FrequenciesMatchLayout) {
+    CaptureSimulator sim(lab_config());
+    const auto& freqs = sim.frequencies();
+    EXPECT_EQ(freqs.size(), kSubcarrierCount);
+    EXPECT_EQ(sim.subcarrier_offsets().size(), kSubcarrierCount);
+}
+
+TEST(Capture, QuantizationToggle) {
+    CaptureConfig config = lab_config();
+    config.quantize = false;
+    CaptureSimulator exact(config);
+    config.quantize = true;
+    CaptureSimulator quantized(config);
+    const auto se = exact.capture(std::nullopt, 1);
+    const auto sq = quantized.capture(std::nullopt, 1);
+    // Same underlying draw, but the quantized one is snapped to the grid.
+    EXPECT_NE(se.frames[0].at(0, 0), sq.frames[0].at(0, 0));
+    EXPECT_NEAR(std::abs(se.frames[0].at(0, 0)),
+                std::abs(sq.frames[0].at(0, 0)),
+                0.05 * std::abs(se.frames[0].at(0, 0)));
+}
+
+TEST(Capture, NoiseFloorRisesWithDistance) {
+    // The environment noise floor is defined at the 2 m reference; the
+    // 3 m session's impairments must use a higher relative floor.
+    auto near_config = lab_config();
+    near_config.channel.deployment = rf::make_standard_deployment(1.0);
+    auto far_config = lab_config();
+    far_config.channel.deployment = rf::make_standard_deployment(3.0);
+    CaptureSimulator near_sim(near_config);
+    CaptureSimulator far_sim(far_config);
+    const double reference =
+        rf::environment_spec(rf::Environment::kLab).noise_floor_dbc;
+    EXPECT_LT(near_sim.impairment_model().config().noise_floor_dbc,
+              reference);
+    EXPECT_GT(far_sim.impairment_model().config().noise_floor_dbc,
+              reference);
+}
+
+TEST(Capture, ZeroPacketsRejected) {
+    CaptureSimulator sim(lab_config());
+    EXPECT_THROW(sim.capture(std::nullopt, 0), Error);
+}
+
+}  // namespace
+}  // namespace wimi::csi

@@ -1,0 +1,233 @@
+// Tests for the multipath channel model.
+#include "rf/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "csi/subcarrier.hpp"
+#include "rf/propagation.hpp"
+
+namespace wimi::rf {
+namespace {
+
+ChannelConfig quiet_config() {
+    ChannelConfig config;
+    config.deployment = make_standard_deployment(2.0);
+    config.environment = {"Quiet", 0, 60.0, 30e-9, 0.0, -60.0};
+    config.seed = 1;
+    return config;
+}
+
+TargetScene water_scene(const Deployment& deployment,
+                        double diameter = 0.143) {
+    TargetScene scene;
+    scene.beaker = make_centered_beaker(deployment, diameter);
+    scene.contents = &material_for(Liquid::kPureWater);
+    return scene;
+}
+
+TEST(Channel, SampleDimensions) {
+    const ChannelModel model(quiet_config());
+    const auto freqs = csi::subcarrier_frequencies(5.32e9);
+    Rng rng(2);
+    const auto h = model.sample(freqs, nullptr, rng);
+    ASSERT_EQ(h.size(), 3u);
+    for (const auto& row : h) {
+        EXPECT_EQ(row.size(), freqs.size());
+    }
+}
+
+TEST(Channel, EmptyFrequenciesRejected) {
+    const ChannelModel model(quiet_config());
+    Rng rng(2);
+    EXPECT_THROW(model.sample({}, nullptr, rng), Error);
+}
+
+TEST(Channel, DeterministicGivenSeeds) {
+    const ChannelModel a(quiet_config());
+    const ChannelModel b(quiet_config());
+    const auto freqs = csi::subcarrier_frequencies(5.32e9);
+    Rng rng_a(7);
+    Rng rng_b(7);
+    const auto ha = a.sample(freqs, nullptr, rng_a);
+    const auto hb = b.sample(freqs, nullptr, rng_b);
+    for (std::size_t ant = 0; ant < ha.size(); ++ant) {
+        for (std::size_t k = 0; k < ha[ant].size(); ++k) {
+            EXPECT_EQ(ha[ant][k], hb[ant][k]);
+        }
+    }
+}
+
+TEST(Channel, FreeSpaceMagnitudeFollowsDistance) {
+    auto config = quiet_config();
+    const ChannelModel model(config);
+    const auto freqs = csi::subcarrier_frequencies(5.32e9);
+    Rng rng(3);
+    const auto h = model.sample(freqs, nullptr, rng);
+    // With no reflectors/noise, |H| = 1/d for each antenna.
+    for (std::size_t a = 0; a < 3; ++a) {
+        const double expected = 1.0 / config.deployment.los_distance(a);
+        EXPECT_NEAR(std::abs(h[a][0]), expected, 1e-9);
+    }
+}
+
+TEST(Channel, TargetPhaseChangeMatchesTheoryInQuietChannel) {
+    auto config = quiet_config();
+    const ChannelModel model(config);
+    const auto freqs = csi::subcarrier_frequencies(5.32e9);
+    Rng rng(5);
+    const auto baseline_scene = TargetScene{
+        make_centered_beaker(config.deployment, 0.143), nullptr, 0.066,
+        -8.0};
+    auto target_scene = water_scene(config.deployment);
+    target_scene.effective_path_fraction = 0.066;
+
+    const auto h_free = model.sample(freqs, &baseline_scene, rng);
+    const auto h_tar = model.sample(freqs, &target_scene, rng);
+
+    const auto paths =
+        target_path_lengths(config.deployment, target_scene.beaker);
+    const auto& water = material_for(Liquid::kPureWater);
+    const auto pc_water = propagation_constants(water, freqs[0]);
+    const auto pc_air = propagation_constants(air(), freqs[0]);
+    const double beta_exc =
+        pc_water.beta_rad_per_m - pc_air.beta_rad_per_m;
+    for (std::size_t a = 0; a < 2; ++a) {  // antenna 2 misses the beaker
+        const double measured = std::arg(h_tar[a][0] / h_free[a][0]);
+        const double expected =
+            wrap_to_pi(-beta_exc * 0.066 * paths.interior_m[a]);
+        EXPECT_NEAR(measured, expected, 1e-6) << "antenna " << a;
+    }
+    // The Fresnel factor is common-mode: the antenna-pair ratio change
+    // matches pure propagation theory exactly.
+    const double pair_measured = std::arg((h_tar[0][0] / h_tar[1][0]) /
+                                          (h_free[0][0] / h_free[1][0]));
+    const double pair_expected = wrap_to_pi(
+        -beta_exc * 0.066 * (paths.interior_m[0] - paths.interior_m[1]));
+    EXPECT_NEAR(pair_measured, pair_expected, 1e-6);
+}
+
+TEST(Channel, CommonModeAttenuationFloorActive) {
+    auto config = quiet_config();
+    const ChannelModel model(config);
+    const auto freqs = csi::subcarrier_frequencies(5.32e9);
+    Rng rng(7);
+    auto deep = water_scene(config.deployment);
+    deep.effective_path_fraction = 0.5;  // bulk loss far beyond the floor
+    deep.min_common_transmission_db = -8.0;
+    auto unfloored = deep;
+    unfloored.min_common_transmission_db = -500.0;
+
+    const auto h_floor = model.sample(freqs, &deep, rng);
+    const auto h_raw = model.sample(freqs, &unfloored, rng);
+    // The floor lifts the common-mode loss substantially...
+    EXPECT_GT(std::abs(h_floor[0][0]), 10.0 * std::abs(h_raw[0][0]));
+    // ...but never touches the differential structure: the antenna-0 to
+    // antenna-1 complex ratio is identical with and without the floor.
+    const Complex ratio_floor = h_floor[0][0] / h_floor[1][0];
+    const Complex ratio_raw = h_raw[0][0] / h_raw[1][0];
+    EXPECT_NEAR(std::abs(ratio_floor), std::abs(ratio_raw),
+                1e-9 * std::abs(ratio_raw));
+    EXPECT_NEAR(std::arg(ratio_floor), std::arg(ratio_raw), 1e-9);
+}
+
+TEST(Channel, MetalContainerBlocksThroughRay) {
+    auto config = quiet_config();
+    const ChannelModel model(config);
+    const auto freqs = csi::subcarrier_frequencies(5.32e9);
+    Rng rng(9);
+    TargetScene scene = water_scene(config.deployment);
+    scene.beaker.wall_material = ContainerMaterial::kMetal;
+    const auto h = model.sample(freqs, &scene, rng);
+    const auto h_free = model.sample(freqs, nullptr, rng);
+    EXPECT_LT(std::abs(h[0][0]), 1e-2 * std::abs(h_free[0][0]));
+}
+
+TEST(Channel, SubWavelengthBeakerAddsDiffraction) {
+    auto config = quiet_config();
+    const ChannelModel model(config);
+    const auto freqs = csi::subcarrier_frequencies(5.32e9);
+    // Tiny beaker (3.2 cm < lambda): the diffraction term has a random
+    // per-packet phase, so packet-to-packet spread at one subcarrier grows.
+    auto spread_for = [&](double diameter) {
+        auto scene = water_scene(config.deployment, diameter);
+        Rng rng(11);
+        double mean_re = 0.0;
+        double var = 0.0;
+        std::vector<Complex> samples;
+        for (int p = 0; p < 64; ++p) {
+            samples.push_back(model.sample(freqs, &scene, rng)[0][0]);
+        }
+        Complex mean(0.0, 0.0);
+        for (const Complex s : samples) {
+            mean += s;
+        }
+        mean /= 64.0;
+        for (const Complex s : samples) {
+            var += std::norm(s - mean);
+        }
+        (void)mean_re;
+        return var / 64.0;
+    };
+    EXPECT_GT(spread_for(0.032), 100.0 * spread_for(0.143) + 1e-12);
+}
+
+TEST(Channel, MultipathAddsFrequencySelectivity) {
+    ChannelConfig config = quiet_config();
+    config.environment = {"Busy", 10, 10.0, 60e-9, 0.1, -60.0};
+    const ChannelModel model(config);
+    const auto freqs = csi::subcarrier_frequencies(5.32e9);
+    Rng rng(13);
+    const auto h = model.sample(freqs, nullptr, rng);
+    // |H| should vary across subcarriers with strong multipath.
+    double min_mag = 1e9;
+    double max_mag = 0.0;
+    for (const Complex v : h[0]) {
+        min_mag = std::min(min_mag, std::abs(v));
+        max_mag = std::max(max_mag, std::abs(v));
+    }
+    EXPECT_GT(max_mag / min_mag, 1.05);
+}
+
+TEST(Channel, RelativeMultipathGrowsWithDistance) {
+    // K is defined at the 2 m reference link; reflections lose little
+    // extra path length when the direct path stretches, so the
+    // multipath-to-LoS ratio must grow with distance.
+    const auto mp_fraction = [](double distance) {
+        ChannelConfig config;
+        config.deployment = make_standard_deployment(distance);
+        config.environment = {"Test", 8, 15.0, 60e-9, 0.5, -60.0};
+        config.seed = 3;
+        const ChannelModel model(config);
+        const auto freqs = csi::subcarrier_frequencies(5.32e9);
+        // Packet-to-packet complex variance at one subcarrier is driven by
+        // the (phase-randomized) multipath power.
+        Rng rng(5);
+        std::vector<Complex> samples;
+        for (int p = 0; p < 128; ++p) {
+            samples.push_back(model.sample(freqs, nullptr, rng)[0][7]);
+        }
+        Complex mean(0.0, 0.0);
+        for (const Complex s : samples) {
+            mean += s;
+        }
+        mean /= static_cast<double>(samples.size());
+        double var = 0.0;
+        for (const Complex s : samples) {
+            var += std::norm(s - mean);
+        }
+        return var / static_cast<double>(samples.size()) / std::norm(mean);
+    };
+    EXPECT_GT(mp_fraction(3.0), 1.5 * mp_fraction(1.0));
+}
+
+TEST(Channel, RequiresAtLeastOneAntenna) {
+    ChannelConfig config = quiet_config();
+    config.deployment.rx_antenna_count = 0;
+    EXPECT_THROW(ChannelModel{config}, Error);
+}
+
+}  // namespace
+}  // namespace wimi::rf

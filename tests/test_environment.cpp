@@ -1,0 +1,45 @@
+// Tests for the environment presets.
+#include "rf/environment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wimi::rf {
+namespace {
+
+TEST(Environment, Names) {
+    EXPECT_EQ(environment_name(Environment::kHall), "Hall");
+    EXPECT_EQ(environment_name(Environment::kLab), "Lab");
+    EXPECT_EQ(environment_name(Environment::kLibrary), "Library");
+}
+
+TEST(Environment, MultipathRichnessOrdering) {
+    const auto& hall = environment_spec(Environment::kHall);
+    const auto& lab = environment_spec(Environment::kLab);
+    const auto& library = environment_spec(Environment::kLibrary);
+    // The paper's premise: hall < lab < library in multipath.
+    EXPECT_LT(hall.reflector_count, lab.reflector_count);
+    EXPECT_LT(lab.reflector_count, library.reflector_count);
+    EXPECT_GT(hall.rician_k_db, lab.rician_k_db);
+    EXPECT_GT(lab.rician_k_db, library.rician_k_db);
+    EXPECT_LT(hall.delay_spread_s, lab.delay_spread_s);
+    EXPECT_LT(lab.delay_spread_s, library.delay_spread_s);
+    // Noise floor worsens (rises) with clutter.
+    EXPECT_LT(hall.noise_floor_dbc, lab.noise_floor_dbc);
+    EXPECT_LT(lab.noise_floor_dbc, library.noise_floor_dbc);
+}
+
+TEST(Environment, SaneParameterRanges) {
+    for (const Environment env :
+         {Environment::kHall, Environment::kLab, Environment::kLibrary}) {
+        const auto& spec = environment_spec(env);
+        EXPECT_GE(spec.reflector_count, 1u);
+        EXPECT_LE(spec.reflector_count, 50u);
+        EXPECT_GT(spec.delay_spread_s, 0.0);
+        EXPECT_LT(spec.delay_spread_s, 1e-6);
+        EXPECT_GT(spec.dynamic_jitter, 0.0);
+        EXPECT_LT(spec.noise_floor_dbc, 0.0);
+    }
+}
+
+}  // namespace
+}  // namespace wimi::rf

@@ -1,0 +1,80 @@
+// Tests for Fresnel interface coefficients.
+#include "rf/fresnel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "csi/subcarrier.hpp"
+
+namespace wimi::rf {
+namespace {
+
+constexpr double kF = csi::kDefaultCenterFrequencyHz;
+
+TEST(Fresnel, AirToAirIsTransparent) {
+    EXPECT_NEAR(std::abs(reflection_coefficient(air(), air(), kF)), 0.0,
+                1e-12);
+    EXPECT_NEAR(std::abs(transmission_coefficient(air(), air(), kF)), 1.0,
+                1e-12);
+}
+
+TEST(Fresnel, LosslessDielectricMatchesTextbook) {
+    // Air -> eps_r = 4 (n = 2): r = (1 - 2)/(1 + 2) = -1/3 for the field
+    // using impedances eta2/eta1 = 1/2.
+    MaterialProperties glassy = air();
+    glassy.eps_inf = 4.0;
+    glassy.eps_static = 4.0;
+    const Complex r = reflection_coefficient(air(), glassy, kF);
+    EXPECT_NEAR(r.real(), -1.0 / 3.0, 1e-9);
+    EXPECT_NEAR(r.imag(), 0.0, 1e-9);
+    EXPECT_NEAR(power_reflectance(air(), glassy, kF), 1.0 / 9.0, 1e-9);
+}
+
+TEST(Fresnel, EnergyAccountingAtLosslessInterface) {
+    // |r|^2 + (eta1/eta2)|t|^2 = 1 for lossless media.
+    MaterialProperties d = air();
+    d.eps_inf = 2.25;
+    d.eps_static = 2.25;
+    const double r2 = power_reflectance(air(), d, kF);
+    const Complex t = transmission_coefficient(air(), d, kF);
+    const double transmitted_power = std::sqrt(2.25) * std::norm(t);
+    EXPECT_NEAR(r2 + transmitted_power, 1.0, 1e-9);
+}
+
+TEST(Fresnel, ReciprocityOfReflection) {
+    const auto& glass = material_for(ContainerMaterial::kGlass);
+    const Complex forward = reflection_coefficient(air(), glass, kF);
+    const Complex backward = reflection_coefficient(glass, air(), kF);
+    EXPECT_NEAR(std::abs(forward + backward), 0.0, 1e-12);
+}
+
+TEST(Fresnel, WaterInterfaceIsStronglyReflective) {
+    const auto& water = material_for(Liquid::kPureWater);
+    // eps' ~ 74: |r| ~ (sqrt(eps)-1)/(sqrt(eps)+1) ~ 0.79.
+    EXPECT_GT(power_reflectance(air(), water, kF), 0.5);
+    EXPECT_LT(power_reflectance(air(), water, kF), 0.75);
+}
+
+TEST(Fresnel, ContainerTransmissionOrdering) {
+    const auto& glass = material_for(ContainerMaterial::kGlass);
+    // More of the field makes it into oil than into water (smaller
+    // impedance mismatch).
+    const double into_water = std::abs(container_interface_transmission(
+        glass, material_for(Liquid::kPureWater), kF));
+    const double into_oil = std::abs(container_interface_transmission(
+        glass, material_for(Liquid::kOil), kF));
+    EXPECT_GT(into_oil, into_water);
+    EXPECT_GT(into_water, 0.0);
+    EXPECT_LT(into_water, 1.0);
+}
+
+TEST(Fresnel, LossyMediumGivesComplexCoefficient) {
+    const auto& soy = material_for(Liquid::kSoy);
+    const Complex r = reflection_coefficient(air(), soy, kF);
+    EXPECT_NE(r.imag(), 0.0);
+    EXPECT_LT(std::abs(r), 1.0);
+}
+
+}  // namespace
+}  // namespace wimi::rf

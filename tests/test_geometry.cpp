@@ -1,0 +1,128 @@
+// Tests for the deployment geometry and chord computation.
+#include "rf/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace wimi::rf {
+namespace {
+
+TEST(Vec2, BasicOps) {
+    const Vec2 a{1.0, 2.0};
+    const Vec2 b{3.0, -1.0};
+    EXPECT_DOUBLE_EQ((a + b).x, 4.0);
+    EXPECT_DOUBLE_EQ((a - b).y, 3.0);
+    EXPECT_DOUBLE_EQ((2.0 * a).y, 4.0);
+    EXPECT_DOUBLE_EQ(dot(a, b), 1.0);
+    EXPECT_DOUBLE_EQ(norm(Vec2{3.0, 4.0}), 5.0);
+    EXPECT_DOUBLE_EQ(distance(a, a), 0.0);
+}
+
+TEST(Chord, ThroughCenterEqualsDiameter) {
+    const double chord =
+        chord_length({-10.0, 0.0}, {10.0, 0.0}, {0.0, 0.0}, 1.5);
+    EXPECT_NEAR(chord, 3.0, 1e-12);
+}
+
+TEST(Chord, OffsetLineMatchesAnalyticFormula) {
+    // Line y = d: chord = 2 sqrt(r^2 - d^2).
+    const double r = 2.0;
+    const double d = 1.2;
+    const double chord =
+        chord_length({-10.0, d}, {10.0, d}, {0.0, 0.0}, r);
+    EXPECT_NEAR(chord, 2.0 * std::sqrt(r * r - d * d), 1e-9);
+}
+
+TEST(Chord, MissReturnsZero) {
+    EXPECT_DOUBLE_EQ(
+        chord_length({-10.0, 5.0}, {10.0, 5.0}, {0.0, 0.0}, 1.0), 0.0);
+}
+
+TEST(Chord, TangentReturnsZero) {
+    EXPECT_NEAR(chord_length({-10.0, 1.0}, {10.0, 1.0}, {0.0, 0.0}, 1.0),
+                0.0, 1e-6);
+}
+
+TEST(Chord, SegmentEndingInsideDisc) {
+    // Segment from outside to the disc center: only half the diameter.
+    const double chord =
+        chord_length({-10.0, 0.0}, {0.0, 0.0}, {0.0, 0.0}, 2.0);
+    EXPECT_NEAR(chord, 2.0, 1e-9);
+}
+
+TEST(Chord, DegenerateSegment) {
+    EXPECT_DOUBLE_EQ(
+        chord_length({1.0, 0.0}, {1.0, 0.0}, {0.0, 0.0}, 2.0), 0.0);
+}
+
+TEST(Deployment, StandardLayout) {
+    const Deployment d = make_standard_deployment(2.0);
+    EXPECT_EQ(d.rx_antenna_count, 3u);
+    EXPECT_DOUBLE_EQ(d.rx_antenna(0).x, 2.0);
+    EXPECT_DOUBLE_EQ(d.rx_antenna(0).y, 0.0);
+    EXPECT_DOUBLE_EQ(d.rx_antenna(1).y, d.rx_antenna_spacing_m);
+    EXPECT_DOUBLE_EQ(d.rx_antenna(2).y, 2.0 * d.rx_antenna_spacing_m);
+    EXPECT_NEAR(d.los_distance(0), 2.0, 1e-12);
+    EXPECT_GT(d.los_distance(2), d.los_distance(1));
+    EXPECT_THROW(d.rx_antenna(3), Error);
+    EXPECT_THROW(make_standard_deployment(0.0), Error);
+}
+
+TEST(Beaker, RadiiConsistent) {
+    const Deployment d = make_standard_deployment(2.0);
+    const Beaker b = make_centered_beaker(d, 0.143);
+    EXPECT_NEAR(b.outer_radius(), 0.0715, 1e-9);
+    EXPECT_NEAR(b.inner_radius(), 0.0715 - b.wall_thickness_m, 1e-9);
+    EXPECT_NEAR(b.center.x, 1.0, 1e-12);
+    EXPECT_THROW(make_centered_beaker(d, 0.0), Error);
+}
+
+TEST(Beaker, WallThickerThanRadiusRejected) {
+    const Deployment d = make_standard_deployment(2.0);
+    EXPECT_THROW(make_centered_beaker(d, 0.007), Error);
+}
+
+TEST(TargetPaths, AntennaOrderingOfChords) {
+    const Deployment d = make_standard_deployment(2.0);
+    const Beaker b = make_centered_beaker(d, 0.143);
+    const auto paths = target_path_lengths(d, b);
+    ASSERT_EQ(paths.interior_m.size(), 3u);
+    // Antenna 0 is aligned with the beaker center: longest chord.
+    EXPECT_GT(paths.interior_m[0], paths.interior_m[1]);
+    // Antenna 2's ray passes above the beaker entirely at 10 cm spacing.
+    EXPECT_DOUBLE_EQ(paths.interior_m[2], 0.0);
+    // Interior chord of antenna 0 is the full inner diameter.
+    EXPECT_NEAR(paths.interior_m[0], 2.0 * b.inner_radius(), 1e-6);
+    // Wall paths are positive where the ray crosses the beaker.
+    EXPECT_GT(paths.wall_m[0], 0.0);
+    EXPECT_GT(paths.wall_m[1], 0.0);
+    EXPECT_NEAR(paths.wall_m[0], 2.0 * b.wall_thickness_m, 1e-4);
+}
+
+TEST(TargetPaths, SmallBeakerMissedByOuterAntennas) {
+    const Deployment d = make_standard_deployment(2.0);
+    const Beaker b = make_centered_beaker(d, 0.032);  // paper Size 5
+    const auto paths = target_path_lengths(d, b);
+    EXPECT_GT(paths.interior_m[0], 0.0);
+    EXPECT_DOUBLE_EQ(paths.interior_m[1], 0.0);
+    EXPECT_DOUBLE_EQ(paths.interior_m[2], 0.0);
+}
+
+TEST(TargetPaths, D1MinusD2DependsOnBeakerSize) {
+    // d(chord)/d(radius) = 2 - 2r/sqrt(r^2 - d^2) < 0 for the offset ray:
+    // shrinking the beaker toward the ray offset *grows* D1 - D2 because
+    // the offset antenna's chord collapses faster than the center chord.
+    const Deployment d = make_standard_deployment(2.0);
+    const auto big =
+        target_path_lengths(d, make_centered_beaker(d, 0.143));
+    const auto small =
+        target_path_lengths(d, make_centered_beaker(d, 0.110));
+    EXPECT_LT(big.interior_m[0] - big.interior_m[1],
+              small.interior_m[0] - small.interior_m[1]);
+}
+
+}  // namespace
+}  // namespace wimi::rf

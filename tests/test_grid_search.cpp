@@ -1,0 +1,88 @@
+// Tests for the SVM hyperparameter grid search.
+#include "ml/grid_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace wimi::ml {
+namespace {
+
+Dataset blobs(std::uint64_t seed, std::size_t per_class, double spread) {
+    Rng rng(seed);
+    Dataset data(2);
+    const double centers[3][2] = {{0.0, 0.0}, {4.0, 0.0}, {0.0, 4.0}};
+    for (int label = 0; label < 3; ++label) {
+        for (std::size_t i = 0; i < per_class; ++i) {
+            data.add(std::vector<double>{
+                         centers[label][0] + rng.gaussian(0.0, spread),
+                         centers[label][1] + rng.gaussian(0.0, spread)},
+                     label);
+        }
+    }
+    return data;
+}
+
+TEST(GridSearch, EvaluatesFullGrid) {
+    GridSearchConfig config;
+    config.c_values = {1.0, 10.0};
+    config.gamma_values = {0.1, 1.0, 10.0};
+    config.folds = 3;
+    const auto result = tune_svm(blobs(1, 12, 0.5), config);
+    EXPECT_EQ(result.evaluated.size(), 6u);
+    for (const auto& point : result.evaluated) {
+        EXPECT_GE(point.cv_accuracy, 0.0);
+        EXPECT_LE(point.cv_accuracy, 1.0);
+    }
+}
+
+TEST(GridSearch, FindsGoodSettingsOnEasyData) {
+    const auto result = tune_svm(blobs(2, 15, 0.4));
+    EXPECT_GE(result.best_accuracy, 0.95);
+    // The chosen settings must actually train a working classifier.
+    MulticlassSvm svm(result.best);
+    svm.train(blobs(2, 15, 0.4));
+    EXPECT_EQ(svm.predict(std::vector<double>{4.0, 0.1}), 1);
+}
+
+TEST(GridSearch, BestAccuracyIsMaxOfEvaluated) {
+    const auto result = tune_svm(blobs(3, 10, 0.8));
+    double max_seen = 0.0;
+    for (const auto& point : result.evaluated) {
+        max_seen = std::max(max_seen, point.cv_accuracy);
+    }
+    EXPECT_DOUBLE_EQ(result.best_accuracy, max_seen);
+}
+
+TEST(GridSearch, TiesPreferSmallerC) {
+    // Trivially separable data: everything scores 1.0; the smallest C and
+    // gamma must win.
+    GridSearchConfig config;
+    config.c_values = {1.0, 100.0};
+    config.gamma_values = {0.1, 10.0};
+    const auto result = tune_svm(blobs(4, 20, 0.1), config);
+    EXPECT_DOUBLE_EQ(result.best.c, 1.0);
+    EXPECT_DOUBLE_EQ(result.best.gamma, 0.1);
+}
+
+TEST(GridSearch, Deterministic) {
+    const auto a = tune_svm(blobs(5, 10, 0.6));
+    const auto b = tune_svm(blobs(5, 10, 0.6));
+    EXPECT_DOUBLE_EQ(a.best_accuracy, b.best_accuracy);
+    EXPECT_DOUBLE_EQ(a.best.c, b.best.c);
+    EXPECT_DOUBLE_EQ(a.best.gamma, b.best.gamma);
+}
+
+TEST(GridSearch, Validation) {
+    EXPECT_THROW(tune_svm(Dataset(2)), Error);
+    GridSearchConfig empty_grid;
+    empty_grid.c_values.clear();
+    EXPECT_THROW(tune_svm(blobs(6, 5, 0.5), empty_grid), Error);
+    GridSearchConfig one_fold;
+    one_fold.folds = 1;
+    EXPECT_THROW(tune_svm(blobs(6, 5, 0.5), one_fold), Error);
+}
+
+}  // namespace
+}  // namespace wimi::ml

@@ -1,0 +1,85 @@
+// Tests for the experiment harness.
+#include "sim/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace wimi::sim {
+namespace {
+
+ExperimentConfig small_experiment() {
+    ExperimentConfig config;
+    config.scenario.environment = rf::Environment::kLab;
+    config.liquids = {rf::Liquid::kPureWater, rf::Liquid::kHoney,
+                      rf::Liquid::kOil};
+    config.repetitions = 6;
+    config.cv_folds = 3;
+    config.seed = 13;
+    return config;
+}
+
+TEST(Harness, CalibratedWimiReady) {
+    const auto wimi = make_calibrated_wimi(small_experiment());
+    EXPECT_TRUE(wimi.calibrated());
+    EXPECT_EQ(wimi.subcarriers().size(), 4u);
+}
+
+TEST(Harness, DatasetShape) {
+    const auto config = small_experiment();
+    const auto wimi = make_calibrated_wimi(config);
+    const auto data = build_feature_dataset(config, wimi);
+    EXPECT_EQ(data.size(), 3u * 6u);
+    EXPECT_EQ(data.feature_count(),
+              wimi.subcarriers().size() * wimi.pairs().size());
+    EXPECT_EQ(data.distinct_labels().size(), 3u);
+    for (int label = 0; label < 3; ++label) {
+        EXPECT_EQ(data.rows_with_label(label).size(), 6u);
+    }
+}
+
+TEST(Harness, DistinctiveLiquidsClassifyPerfectly) {
+    const auto result = run_identification_experiment(small_experiment());
+    EXPECT_EQ(result.class_names.size(), 3u);
+    EXPECT_EQ(result.class_names[0], "Pure water");
+    // Water / honey / oil are dielectric extremes.
+    EXPECT_GE(result.accuracy, 0.95);
+    EXPECT_GE(result.mean_recall, 0.95);
+    EXPECT_EQ(result.confusion.total(), 18u);
+}
+
+TEST(Harness, DeterministicGivenSeed) {
+    const auto a = run_identification_experiment(small_experiment());
+    const auto b = run_identification_experiment(small_experiment());
+    EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+}
+
+TEST(Harness, EvaluateDatasetConsistentWithConfusion) {
+    const auto config = small_experiment();
+    const auto wimi = make_calibrated_wimi(config);
+    const auto data = build_feature_dataset(config, wimi);
+    const auto result =
+        evaluate_dataset(data, config, {"water", "honey", "oil"});
+    EXPECT_DOUBLE_EQ(result.accuracy, result.confusion.accuracy());
+    EXPECT_DOUBLE_EQ(result.mean_recall, result.confusion.mean_recall());
+}
+
+TEST(Harness, KnnBackendRuns) {
+    auto config = small_experiment();
+    config.wimi.classifier = core::ClassifierKind::kKnn;
+    const auto result = run_identification_experiment(config);
+    EXPECT_GE(result.accuracy, 0.9);
+}
+
+TEST(Harness, Validation) {
+    auto config = small_experiment();
+    config.liquids.clear();
+    const auto wimi = make_calibrated_wimi(small_experiment());
+    EXPECT_THROW(build_feature_dataset(config, wimi), Error);
+    auto zero_reps = small_experiment();
+    zero_reps.repetitions = 0;
+    EXPECT_THROW(build_feature_dataset(zero_reps, wimi), Error);
+}
+
+}  // namespace
+}  // namespace wimi::sim

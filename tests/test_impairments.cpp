@@ -1,0 +1,204 @@
+// Tests for the hardware impairment model (paper Eq. 5 structure).
+#include "csi/impairments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "csi/subcarrier.hpp"
+#include "dsp/circular.hpp"
+
+namespace wimi::csi {
+namespace {
+
+CsiFrame flat_frame() {
+    CsiFrame frame(3, kSubcarrierCount);
+    for (std::size_t a = 0; a < 3; ++a) {
+        for (std::size_t k = 0; k < kSubcarrierCount; ++k) {
+            frame.at(a, k) = Complex(1.0, 0.0);
+        }
+    }
+    return frame;
+}
+
+ImpairmentConfig clean_config() {
+    ImpairmentConfig config;
+    config.phase_noise_std_rad = 0.0;
+    config.noise_floor_dbc = -200.0;
+    config.outlier_probability = 0.0;
+    config.impulse_probability = 0.0;
+    config.agc_jitter_db = 0.0;
+    config.static_gain_spread_db = 0.0;
+    config.static_phase_spread_rad = 0.0;
+    return config;
+}
+
+TEST(Impairments, RawPhaseRandomizedAcrossPackets) {
+    ImpairmentConfig config = clean_config();
+    Rng rng(1);
+    const ImpairmentModel model(config, 3, rng);
+    std::vector<double> phases;
+    for (int p = 0; p < 200; ++p) {
+        auto frame = flat_frame();
+        model.apply(frame, intel5300_subcarrier_indices(), rng);
+        phases.push_back(frame.phase(0, 10));
+    }
+    // CFO makes raw phases useless: near-uniform on the circle (Fig. 2).
+    EXPECT_LT(dsp::mean_resultant_length(phases), 0.2);
+}
+
+TEST(Impairments, PhaseErrorsCommonAcrossAntennas) {
+    ImpairmentConfig config = clean_config();
+    Rng rng(2);
+    const ImpairmentModel model(config, 3, rng);
+    for (int p = 0; p < 50; ++p) {
+        auto frame = flat_frame();
+        model.apply(frame, intel5300_subcarrier_indices(), rng);
+        for (std::size_t k = 0; k < kSubcarrierCount; ++k) {
+            // With zero static offsets and per-antenna noise, the phase
+            // difference between antennas must be exactly zero: CFO and
+            // timing slope are board-common (the paper's key observation).
+            EXPECT_NEAR(
+                wrap_to_pi(frame.phase(0, k) - frame.phase(1, k)), 0.0,
+                1e-9);
+        }
+    }
+}
+
+TEST(Impairments, TimingErrorGivesLinearPhaseSlope) {
+    ImpairmentConfig config = clean_config();
+    config.random_cfo = false;
+    config.timing_error_std_s = 50e-9;
+    Rng rng(3);
+    const ImpairmentModel model(config, 3, rng);
+    auto frame = flat_frame();
+    model.apply(frame, intel5300_subcarrier_indices(), rng);
+    // Phase vs subcarrier offset should be linear: check three collinear
+    // points (indices -28, -1? use reported indices 0, 14, 29 -> offsets
+    // -28, -1, 28).
+    const auto& idx = intel5300_subcarrier_indices();
+    const double p0 = frame.phase(0, 0);
+    const double p14 = frame.phase(0, 14);
+    const double p29 = frame.phase(0, 29);
+    const double slope =
+        wrap_to_pi(p29 - p0) / static_cast<double>(idx[29] - idx[0]);
+    const double predicted_p14 =
+        wrap_to_pi(p0 + slope * static_cast<double>(idx[14] - idx[0]));
+    EXPECT_NEAR(wrap_to_pi(p14 - predicted_p14), 0.0, 1e-6);
+}
+
+TEST(Impairments, StaticOffsetsPersistAcrossPackets) {
+    ImpairmentConfig config = clean_config();
+    config.static_gain_spread_db = 3.0;
+    config.static_phase_spread_rad = 0.8;
+    config.random_cfo = false;
+    config.timing_error_std_s = 0.0;
+    Rng rng(5);
+    const ImpairmentModel model(config, 3, rng);
+    // The model's drawn statics are frozen: two packets see identical
+    // gains.
+    auto f1 = flat_frame();
+    auto f2 = flat_frame();
+    Rng packet_rng(99);
+    model.apply(f1, intel5300_subcarrier_indices(), packet_rng);
+    model.apply(f2, intel5300_subcarrier_indices(), packet_rng);
+    for (std::size_t a = 0; a < 3; ++a) {
+        EXPECT_NEAR(f1.amplitude(a, 5), f2.amplitude(a, 5), 1e-9);
+        EXPECT_NEAR(f1.amplitude(a, 5), model.static_gain(a), 1e-9);
+        EXPECT_NEAR(wrap_to_pi(f1.phase(a, 5) - model.static_phase(a)),
+                    0.0, 1e-9);
+    }
+}
+
+TEST(Impairments, ImpulsesRaiseAmplitudeSpikes) {
+    ImpairmentConfig config = clean_config();
+    config.impulse_probability = 1.0;  // force an impulse every packet
+    config.impulse_relative_magnitude = 2.0;
+    Rng rng(7);
+    const ImpairmentModel model(config, 3, rng);
+    auto frame = flat_frame();
+    model.apply(frame, intel5300_subcarrier_indices(), rng);
+    // Some antenna must deviate strongly from unit amplitude.
+    double max_amp = 0.0;
+    for (std::size_t a = 0; a < 3; ++a) {
+        max_amp = std::max(max_amp, frame.amplitude(a, 3));
+    }
+    EXPECT_GT(max_amp, 1.5);
+}
+
+TEST(Impairments, OutlierScalesWholeChain) {
+    ImpairmentConfig config = clean_config();
+    config.outlier_probability = 1.0;
+    config.outlier_gain_lo = 3.0;
+    config.outlier_gain_hi = 3.0;
+    Rng rng(9);
+    const ImpairmentModel model(config, 1, rng);
+    CsiFrame frame(1, kSubcarrierCount);
+    for (std::size_t k = 0; k < kSubcarrierCount; ++k) {
+        frame.at(0, k) = Complex(1.0, 0.0);
+    }
+    model.apply(frame, intel5300_subcarrier_indices(), rng);
+    // Every subcarrier of the chain scales by the same outlier factor
+    // (3x or 1/3x).
+    const double g = frame.amplitude(0, 0);
+    EXPECT_TRUE(std::abs(g - 3.0) < 1e-9 || std::abs(g - 1.0 / 3.0) < 1e-9);
+    for (std::size_t k = 1; k < kSubcarrierCount; ++k) {
+        EXPECT_NEAR(frame.amplitude(0, k), g, 1e-9);
+    }
+}
+
+TEST(Impairments, AgcJitterIsBoardCommon) {
+    ImpairmentConfig config = clean_config();
+    config.agc_jitter_db = 3.0;
+    config.random_cfo = false;
+    config.timing_error_std_s = 0.0;
+    Rng rng(15);
+    const ImpairmentModel model(config, 3, rng);
+    for (int p = 0; p < 30; ++p) {
+        auto frame = flat_frame();
+        model.apply(frame, intel5300_subcarrier_indices(), rng);
+        // All chains scale by the same per-packet AGC factor: the antenna
+        // amplitude ratio stays exactly 1 (the Fig. 8 mechanism).
+        for (std::size_t k = 0; k < kSubcarrierCount; k += 7) {
+            EXPECT_NEAR(frame.amplitude(0, k) / frame.amplitude(1, k), 1.0,
+                        1e-9);
+            EXPECT_NEAR(frame.amplitude(1, k) / frame.amplitude(2, k), 1.0,
+                        1e-9);
+        }
+    }
+}
+
+TEST(Impairments, NoiseFloorScalesWithConfig) {
+    ImpairmentConfig loud = clean_config();
+    loud.noise_floor_dbc = -10.0;
+    loud.random_cfo = false;
+    loud.timing_error_std_s = 0.0;
+    Rng rng(11);
+    const ImpairmentModel model(loud, 3, rng);
+    double dev = 0.0;
+    for (int p = 0; p < 50; ++p) {
+        auto frame = flat_frame();
+        model.apply(frame, intel5300_subcarrier_indices(), rng);
+        dev += std::abs(frame.at(0, 0) - Complex(1.0, 0.0));
+    }
+    // -10 dBc noise -> |noise| ~ 0.3-0.5 on average.
+    EXPECT_GT(dev / 50.0, 0.1);
+}
+
+TEST(Impairments, Validation) {
+    Rng rng(13);
+    EXPECT_THROW(ImpairmentModel(ImpairmentConfig{}, 0, rng), Error);
+    const ImpairmentModel model(ImpairmentConfig{}, 2, rng);
+    auto frame = flat_frame();  // 3 antennas > model's 2
+    EXPECT_THROW(model.apply(frame, intel5300_subcarrier_indices(), rng),
+                 Error);
+    CsiFrame small(2, 4);
+    EXPECT_THROW(model.apply(small, intel5300_subcarrier_indices(), rng),
+                 Error);  // offsets size mismatch
+    EXPECT_THROW(model.static_gain(5), Error);
+}
+
+}  // namespace
+}  // namespace wimi::csi

@@ -1,0 +1,78 @@
+// Tests for the kNN baseline classifier.
+#include "ml/knn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace wimi::ml {
+namespace {
+
+Dataset blobs(std::uint64_t seed, std::size_t per_class) {
+    Rng rng(seed);
+    Dataset data(2);
+    const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+    for (int label = 0; label < 3; ++label) {
+        for (std::size_t i = 0; i < per_class; ++i) {
+            data.add(std::vector<double>{
+                         centers[label][0] + rng.gaussian(0.0, 0.5),
+                         centers[label][1] + rng.gaussian(0.0, 0.5)},
+                     label);
+        }
+    }
+    return data;
+}
+
+TEST(Knn, ClassifiesWellSeparatedBlobs) {
+    KnnClassifier knn(5);
+    knn.train(blobs(1, 20));
+    EXPECT_EQ(knn.predict(std::vector<double>{0.2, -0.1}), 0);
+    EXPECT_EQ(knn.predict(std::vector<double>{9.8, 0.4}), 1);
+    EXPECT_EQ(knn.predict(std::vector<double>{-0.3, 10.2}), 2);
+}
+
+TEST(Knn, KOneIsNearestNeighbour) {
+    Dataset data(1);
+    data.add(std::vector<double>{0.0}, 0);
+    data.add(std::vector<double>{10.0}, 1);
+    KnnClassifier knn(1);
+    knn.train(data);
+    EXPECT_EQ(knn.predict(std::vector<double>{2.0}), 0);
+    EXPECT_EQ(knn.predict(std::vector<double>{8.0}), 1);
+}
+
+TEST(Knn, KLargerThanDatasetStillWorks) {
+    Dataset data(1);
+    data.add(std::vector<double>{0.0}, 0);
+    data.add(std::vector<double>{1.0}, 0);
+    data.add(std::vector<double>{10.0}, 1);
+    KnnClassifier knn(50);
+    knn.train(data);
+    // Majority of all three points is label 0.
+    EXPECT_EQ(knn.predict(std::vector<double>{5.0}), 0);
+}
+
+TEST(Knn, TieBrokenByDistance) {
+    Dataset data(1);
+    data.add(std::vector<double>{0.0}, 0);
+    data.add(std::vector<double>{0.5}, 0);
+    data.add(std::vector<double>{4.0}, 1);
+    data.add(std::vector<double>{4.1}, 1);
+    KnnClassifier knn(4);
+    knn.train(data);
+    // 2-2 vote; label 1's summed distance from x=3.9 is smaller.
+    EXPECT_EQ(knn.predict(std::vector<double>{3.9}), 1);
+}
+
+TEST(Knn, Validation) {
+    EXPECT_THROW(KnnClassifier(0), Error);
+    KnnClassifier knn(3);
+    EXPECT_THROW(knn.predict(std::vector<double>{1.0}), Error);
+    EXPECT_THROW(knn.train(Dataset(1)), Error);
+    knn.train(blobs(2, 5));
+    EXPECT_THROW(knn.predict(std::vector<double>{1.0}), Error);  // width
+}
+
+}  // namespace
+}  // namespace wimi::ml

@@ -1,0 +1,128 @@
+// Tests for confusion matrices and cross-validation.
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace wimi::ml {
+namespace {
+
+TEST(ConfusionMatrix, CountsAndRates) {
+    ConfusionMatrix cm({0, 1});
+    cm.record(0, 0);
+    cm.record(0, 0);
+    cm.record(0, 1);
+    cm.record(1, 1);
+    EXPECT_EQ(cm.total(), 4u);
+    EXPECT_EQ(cm.count(0, 0), 2u);
+    EXPECT_EQ(cm.count(0, 1), 1u);
+    EXPECT_NEAR(cm.rate(0, 0), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(cm.rate(1, 1), 1.0, 1e-12);
+    EXPECT_NEAR(cm.accuracy(), 0.75, 1e-12);
+    EXPECT_NEAR(cm.recall(0), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(cm.mean_recall(), (2.0 / 3.0 + 1.0) / 2.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, EmptyRowsIgnoredInMeanRecall) {
+    ConfusionMatrix cm({0, 1, 2});
+    cm.record(0, 0);
+    cm.record(1, 0);
+    // Class 2 has no samples.
+    EXPECT_NEAR(cm.mean_recall(), 0.5, 1e-12);
+    EXPECT_DOUBLE_EQ(cm.rate(2, 2), 0.0);
+}
+
+TEST(ConfusionMatrix, UnknownLabelRejected) {
+    ConfusionMatrix cm({0, 1});
+    EXPECT_THROW(cm.record(2, 0), Error);
+    EXPECT_THROW(cm.count(0, 9), Error);
+}
+
+TEST(ConfusionMatrix, NamesValidated) {
+    EXPECT_THROW(ConfusionMatrix({}, {}), Error);
+    EXPECT_THROW(ConfusionMatrix({0, 1}, {"only-one"}), Error);
+}
+
+TEST(ConfusionMatrix, PrintShowsNamesAndRates) {
+    ConfusionMatrix cm({0, 1}, {"Water", "Milk"});
+    cm.record(0, 0);
+    cm.record(1, 1);
+    std::ostringstream out;
+    cm.print(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("Water"), std::string::npos);
+    EXPECT_NE(text.find("Milk"), std::string::npos);
+    EXPECT_NE(text.find("1.00"), std::string::npos);
+}
+
+TEST(ConfusionMatrix, EmptyAccuracyIsZero) {
+    ConfusionMatrix cm({0, 1});
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+    EXPECT_DOUBLE_EQ(cm.mean_recall(), 0.0);
+}
+
+Dataset labeled_line(std::size_t per_class) {
+    Dataset data(1);
+    for (int label = 0; label < 2; ++label) {
+        for (std::size_t i = 0; i < per_class; ++i) {
+            data.add(std::vector<double>{static_cast<double>(label)},
+                     label);
+        }
+    }
+    return data;
+}
+
+TEST(CrossValidate, PerfectClassifierScoresOne) {
+    const auto data = labeled_line(10);
+    Rng rng(1);
+    const auto cm = cross_validate(
+        data, 5, rng,
+        [](const Dataset& /*train*/, const Dataset& test) {
+            std::vector<int> predictions;
+            for (std::size_t i = 0; i < test.size(); ++i) {
+                predictions.push_back(
+                    test.features(i)[0] > 0.5 ? 1 : 0);
+            }
+            return predictions;
+        });
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+    EXPECT_EQ(cm.total(), data.size());
+}
+
+TEST(CrossValidate, ConstantClassifierScoresHalf) {
+    const auto data = labeled_line(10);
+    Rng rng(2);
+    const auto cm = cross_validate(
+        data, 4, rng,
+        [](const Dataset&, const Dataset& test) {
+            return std::vector<int>(test.size(), 0);
+        });
+    EXPECT_NEAR(cm.accuracy(), 0.5, 1e-12);
+}
+
+TEST(CrossValidate, PredictionCountMismatchRejected) {
+    const auto data = labeled_line(4);
+    Rng rng(3);
+    EXPECT_THROW(
+        cross_validate(data, 2, rng,
+                       [](const Dataset&, const Dataset&) {
+                           return std::vector<int>{};
+                       }),
+        Error);
+}
+
+TEST(CrossValidate, FoldCountValidated) {
+    const auto data = labeled_line(4);
+    Rng rng(4);
+    EXPECT_THROW(cross_validate(data, 1, rng,
+                                [](const Dataset&, const Dataset& test) {
+                                    return std::vector<int>(test.size(), 0);
+                                }),
+                 Error);
+}
+
+}  // namespace
+}  // namespace wimi::ml

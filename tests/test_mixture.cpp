@@ -1,0 +1,93 @@
+// Tests for dielectric mixtures.
+#include "rf/mixture.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "csi/subcarrier.hpp"
+#include "rf/propagation.hpp"
+
+namespace wimi::rf {
+namespace {
+
+constexpr double kF = csi::kDefaultCenterFrequencyHz;
+
+TEST(Mixture, EndpointsMatchPureMaterials) {
+    const auto& water = material_for(Liquid::kPureWater);
+    const auto& oil = material_for(Liquid::kOil);
+    for (const MixingRule rule :
+         {MixingRule::kLinear, MixingRule::kMaxwellGarnett}) {
+        const Complex at_zero =
+            effective_permittivity(water, oil, 0.0, kF, rule);
+        const Complex at_one =
+            effective_permittivity(water, oil, 1.0, kF, rule);
+        const Complex pure_water = water.relative_permittivity(kF);
+        const Complex pure_oil = oil.relative_permittivity(kF);
+        EXPECT_NEAR(std::abs(at_zero - pure_water), 0.0, 1e-9);
+        EXPECT_NEAR(std::abs(at_one - pure_oil), 0.0, 1e-9);
+    }
+}
+
+TEST(Mixture, LinearRuleInterpolates) {
+    const auto& water = material_for(Liquid::kPureWater);
+    const auto& oil = material_for(Liquid::kOil);
+    const Complex half =
+        effective_permittivity(water, oil, 0.5, kF, MixingRule::kLinear);
+    const Complex expected = 0.5 * (water.relative_permittivity(kF) +
+                                    oil.relative_permittivity(kF));
+    EXPECT_NEAR(std::abs(half - expected), 0.0, 1e-9);
+}
+
+TEST(Mixture, MaxwellGarnettBelowLinearForHighContrast) {
+    // Spherical low-eps inclusions shield field: MG eps' < linear eps'.
+    const auto& water = material_for(Liquid::kPureWater);
+    const auto& oil = material_for(Liquid::kOil);
+    const Complex mg = effective_permittivity(water, oil, 0.3, kF,
+                                              MixingRule::kMaxwellGarnett);
+    const Complex lin =
+        effective_permittivity(water, oil, 0.3, kF, MixingRule::kLinear);
+    EXPECT_LT(mg.real(), lin.real());
+}
+
+TEST(Mixture, FractionValidated) {
+    const auto& water = material_for(Liquid::kPureWater);
+    const auto& oil = material_for(Liquid::kOil);
+    EXPECT_THROW(effective_permittivity(water, oil, -0.1, kF), Error);
+    EXPECT_THROW(effective_permittivity(water, oil, 1.1, kF), Error);
+}
+
+TEST(MixedMaterial, ReproducesEffectivePermittivityAtAnchor) {
+    const auto& water = material_for(Liquid::kPureWater);
+    const auto& liquor = material_for(Liquid::kLiquor);
+    const MixedMaterial mix(water, liquor, 0.4, kF);
+    const Complex target = effective_permittivity(water, liquor, 0.4, kF);
+    const Complex actual = mix.properties().relative_permittivity(kF);
+    EXPECT_NEAR(actual.real(), target.real(), 1e-6);
+    EXPECT_NEAR(actual.imag(), target.imag(), 1e-6);
+}
+
+TEST(MixedMaterial, NameDescribesComposition) {
+    const auto& water = material_for(Liquid::kPureWater);
+    const auto& oil = material_for(Liquid::kOil);
+    const MixedMaterial mix(water, oil, 0.25, kF);
+    EXPECT_EQ(mix.name(), "Pure water + 25% Oil");
+    EXPECT_EQ(mix.properties().name, mix.name());
+}
+
+TEST(MixedMaterial, FeatureMovesBetweenEndpoints) {
+    const auto& water = material_for(Liquid::kPureWater);
+    const auto& soy = material_for(Liquid::kSoy);
+    const double feature_water =
+        theoretical_material_feature(water, kF);
+    const double feature_soy = theoretical_material_feature(soy, kF);
+    const MixedMaterial mix(water, soy, 0.5, kF);
+    const double feature_mix =
+        theoretical_material_feature(mix.properties(), kF);
+    EXPECT_GT(feature_mix, std::min(feature_water, feature_soy));
+    EXPECT_LT(feature_mix, std::max(feature_water, feature_soy));
+}
+
+}  // namespace
+}  // namespace wimi::rf

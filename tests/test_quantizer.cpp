@@ -1,0 +1,96 @@
+// Tests for Intel 5300-style int8 CSI quantization.
+#include "csi/quantizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace wimi::csi {
+namespace {
+
+CsiFrame random_frame(std::uint64_t seed, double scale = 1.0) {
+    Rng rng(seed);
+    CsiFrame frame(3, 30);
+    for (std::size_t a = 0; a < 3; ++a) {
+        for (std::size_t k = 0; k < 30; ++k) {
+            frame.at(a, k) = scale * Complex(rng.gaussian(), rng.gaussian());
+        }
+    }
+    frame.timestamp_s = 1.25;
+    frame.rssi_dbm = -42.0;
+    return frame;
+}
+
+TEST(Quantizer, RoundTripErrorBounded) {
+    const auto frame = random_frame(1);
+    const auto back = quantization_roundtrip(frame);
+    // Max relative error per component is 0.5/127 of the frame max.
+    double max_component = 0.0;
+    for (const Complex& h : frame.raw()) {
+        max_component = std::max({max_component, std::abs(h.real()),
+                                  std::abs(h.imag())});
+    }
+    const double bound = 0.5 / 127.0 * max_component + 1e-12;
+    for (std::size_t i = 0; i < frame.raw().size(); ++i) {
+        EXPECT_NEAR(back.raw()[i].real(), frame.raw()[i].real(), bound);
+        EXPECT_NEAR(back.raw()[i].imag(), frame.raw()[i].imag(), bound);
+    }
+}
+
+TEST(Quantizer, ScaleInvariant) {
+    // Quantization error is relative to the frame max, so scaling the
+    // frame scales the error: relative SNR unchanged.
+    const auto small = random_frame(2, 1e-6);
+    const auto back = quantization_roundtrip(small);
+    double err = 0.0;
+    double power = 0.0;
+    for (std::size_t i = 0; i < small.raw().size(); ++i) {
+        err += std::norm(back.raw()[i] - small.raw()[i]);
+        power += std::norm(small.raw()[i]);
+    }
+    EXPECT_LT(err / power, 1e-4);
+}
+
+TEST(Quantizer, MetadataPreserved) {
+    const auto frame = random_frame(3);
+    const auto q = quantize(frame);
+    EXPECT_EQ(q.antenna_count, 3u);
+    EXPECT_EQ(q.subcarrier_count, 30u);
+    EXPECT_DOUBLE_EQ(q.timestamp_s, 1.25);
+    EXPECT_DOUBLE_EQ(q.rssi_dbm, -42.0);
+    const auto back = dequantize(q);
+    EXPECT_DOUBLE_EQ(back.timestamp_s, 1.25);
+    EXPECT_DOUBLE_EQ(back.rssi_dbm, -42.0);
+}
+
+TEST(Quantizer, StrongestComponentUsesFullRange) {
+    CsiFrame frame(1, 2);
+    frame.at(0, 0) = Complex(2.0, 0.0);
+    frame.at(0, 1) = Complex(0.5, -0.25);
+    const auto q = quantize(frame);
+    EXPECT_EQ(q.real[0], 127);
+}
+
+TEST(Quantizer, ZeroFrameRejected) {
+    CsiFrame frame(1, 2);
+    EXPECT_THROW(quantize(frame), Error);
+}
+
+TEST(Quantizer, MalformedQuantizedFrameRejected) {
+    QuantizedFrame q;
+    q.antenna_count = 1;
+    q.subcarrier_count = 2;
+    q.real = {1};
+    q.imag = {1};
+    EXPECT_THROW(dequantize(q), Error);
+    q.real = {1, 2};
+    q.imag = {3, 4};
+    q.scale = 0.0;
+    EXPECT_THROW(dequantize(q), Error);
+}
+
+}  // namespace
+}  // namespace wimi::csi

@@ -1,0 +1,165 @@
+// Tests for the deterministic RNG substrate.
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace wimi {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+    }
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+    Rng a(1);
+    Rng b(2);
+    int differing = 0;
+    for (int i = 0; i < 64; ++i) {
+        differing += (a.next_u64() != b.next_u64()) ? 1 : 0;
+    }
+    EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.5, 2.5);
+        EXPECT_GE(u, -3.5);
+        EXPECT_LT(u, 2.5);
+    }
+}
+
+TEST(Rng, UniformRangeRejectsInvertedBounds) {
+    Rng rng(7);
+    EXPECT_THROW(rng.uniform(1.0, -1.0), Error);
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        sum += rng.uniform();
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexBoundsAndCoverage) {
+    Rng rng(13);
+    std::array<int, 7> counts{};
+    for (int i = 0; i < 7000; ++i) {
+        const auto idx = rng.uniform_index(7);
+        ASSERT_LT(idx, 7u);
+        ++counts[idx];
+    }
+    for (const int c : counts) {
+        EXPECT_GT(c, 700);  // roughly uniform
+    }
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+    Rng rng(13);
+    EXPECT_THROW(rng.uniform_index(0), Error);
+}
+
+TEST(Rng, GaussianMoments) {
+    Rng rng(17);
+    const int n = 200000;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, GaussianScaled) {
+    Rng rng(19);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        sum += rng.gaussian(5.0, 2.0);
+    }
+    EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+    Rng rng(23);
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+}
+
+TEST(Rng, BernoulliRate) {
+    Rng rng(29);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+    Rng rng(31);
+    const int n = 200000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double e = rng.exponential(2.5);
+        EXPECT_GE(e, 0.0);
+        sum += e;
+    }
+    EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+    Rng rng(31);
+    EXPECT_THROW(rng.exponential(0.0), Error);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+    Rng rng(37);
+    std::vector<std::size_t> v(50);
+    std::iota(v.begin(), v.end(), 0);
+    auto shuffled = v;
+    rng.shuffle(shuffled);
+    EXPECT_FALSE(std::equal(v.begin(), v.end(), shuffled.begin()));
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(v, shuffled);
+}
+
+TEST(Rng, ForkDecorrelatesStreams) {
+    Rng parent(41);
+    Rng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        same += (parent.next_u64() == child.next_u64()) ? 1 : 0;
+    }
+    EXPECT_LT(same, 4);
+}
+
+}  // namespace
+}  // namespace wimi

@@ -1,0 +1,82 @@
+// Tests for the z-score feature scaler.
+#include "ml/scaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace wimi::ml {
+namespace {
+
+TEST(Scaler, ZeroMeanUnitVariance) {
+    Rng rng(1);
+    Dataset data(3);
+    for (int i = 0; i < 500; ++i) {
+        data.add(std::vector<double>{rng.gaussian(10.0, 2.0),
+                                     rng.gaussian(-5.0, 0.1),
+                                     rng.uniform(0.0, 100.0)},
+                 0);
+    }
+    StandardScaler scaler;
+    scaler.fit(data);
+    const auto scaled = scaler.transform(data);
+
+    for (std::size_t j = 0; j < 3; ++j) {
+        double sum = 0.0;
+        double sum_sq = 0.0;
+        for (std::size_t row = 0; row < scaled.size(); ++row) {
+            const double v = scaled.features(row)[j];
+            sum += v;
+            sum_sq += v * v;
+        }
+        const double n = static_cast<double>(scaled.size());
+        EXPECT_NEAR(sum / n, 0.0, 1e-9);
+        EXPECT_NEAR(sum_sq / n, 1.0, 1e-9);
+    }
+}
+
+TEST(Scaler, ConstantFeaturePassesThroughCentered) {
+    Dataset data(2);
+    data.add(std::vector<double>{5.0, 1.0}, 0);
+    data.add(std::vector<double>{5.0, 3.0}, 0);
+    StandardScaler scaler;
+    scaler.fit(data);
+    const auto out = scaler.transform(std::vector<double>{5.0, 2.0});
+    EXPECT_DOUBLE_EQ(out[0], 0.0);  // centered, unit scale
+    EXPECT_DOUBLE_EQ(out[1], 0.0);  // exactly the mean
+}
+
+TEST(Scaler, TransformBeforeFitThrows) {
+    StandardScaler scaler;
+    EXPECT_THROW(scaler.transform(std::vector<double>{1.0}), Error);
+}
+
+TEST(Scaler, WidthMismatchThrows) {
+    Dataset data(2);
+    data.add(std::vector<double>{1.0, 2.0}, 0);
+    StandardScaler scaler;
+    scaler.fit(data);
+    EXPECT_THROW(scaler.transform(std::vector<double>{1.0}), Error);
+}
+
+TEST(Scaler, FitEmptyThrows) {
+    StandardScaler scaler;
+    EXPECT_THROW(scaler.fit(Dataset(1)), Error);
+}
+
+TEST(Scaler, ExposesMoments) {
+    Dataset data(1);
+    data.add(std::vector<double>{2.0}, 0);
+    data.add(std::vector<double>{4.0}, 0);
+    StandardScaler scaler;
+    scaler.fit(data);
+    ASSERT_TRUE(scaler.fitted());
+    EXPECT_DOUBLE_EQ(scaler.means()[0], 3.0);
+    EXPECT_DOUBLE_EQ(scaler.stddevs()[0], 1.0);
+}
+
+}  // namespace
+}  // namespace wimi::ml

@@ -1,0 +1,84 @@
+// Tests for the experiment scenario builder.
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace wimi::sim {
+namespace {
+
+TEST(Scenario, DefaultsMatchPaperSetup) {
+    const Scenario scenario{ScenarioConfig{}};
+    EXPECT_DOUBLE_EQ(scenario.config().link_distance_m, 2.0);
+    EXPECT_DOUBLE_EQ(scenario.config().beaker_diameter_m, 0.143);
+    EXPECT_EQ(scenario.config().packets, 20u);
+    EXPECT_EQ(scenario.deployment().rx_antenna_count, 3u);
+}
+
+TEST(Scenario, SceneCarriesContentsAndOffset) {
+    const Scenario scenario{ScenarioConfig{}};
+    const auto& milk = rf::material_for(rf::Liquid::kMilk);
+    const auto scene = scenario.scene(&milk, {0.01, -0.02});
+    EXPECT_EQ(scene.contents, &milk);
+    EXPECT_NEAR(scene.beaker.center.x, 1.01, 1e-12);
+    EXPECT_NEAR(scene.beaker.center.y, -0.02, 1e-12);
+    const auto empty = scenario.scene(nullptr);
+    EXPECT_EQ(empty.contents, nullptr);
+    EXPECT_NEAR(empty.beaker.center.x, 1.0, 1e-12);
+}
+
+TEST(Scenario, MeasurementPairShape) {
+    ScenarioConfig config;
+    config.packets = 7;
+    const Scenario scenario(config);
+    const auto pair = scenario.capture_measurement(rf::Liquid::kCoke, 3);
+    EXPECT_EQ(pair.baseline.packet_count(), 7u);
+    EXPECT_EQ(pair.target.packet_count(), 7u);
+    EXPECT_EQ(pair.baseline.antenna_count(), 3u);
+    pair.baseline.validate();
+    pair.target.validate();
+}
+
+TEST(Scenario, MeasurementDeterministicPerSessionSeed) {
+    const Scenario scenario{ScenarioConfig{}};
+    const auto a = scenario.capture_measurement(rf::Liquid::kSoy, 42);
+    const auto b = scenario.capture_measurement(rf::Liquid::kSoy, 42);
+    EXPECT_EQ(a.target.frames[0].at(0, 0), b.target.frames[0].at(0, 0));
+    const auto c = scenario.capture_measurement(rf::Liquid::kSoy, 43);
+    EXPECT_NE(a.target.frames[0].at(0, 0), c.target.frames[0].at(0, 0));
+}
+
+TEST(Scenario, ReferenceCaptureLength) {
+    const Scenario scenario{ScenarioConfig{}};
+    const auto reference = scenario.capture_reference(1, 33);
+    EXPECT_EQ(reference.packet_count(), 33u);
+}
+
+TEST(Scenario, EnvironmentSeedChangesChannel) {
+    ScenarioConfig a_cfg;
+    a_cfg.environment_seed = 1;
+    ScenarioConfig b_cfg;
+    b_cfg.environment_seed = 2;
+    const Scenario a(a_cfg);
+    const Scenario b(b_cfg);
+    const auto ma = a.capture_measurement(rf::Liquid::kMilk, 9);
+    const auto mb = b.capture_measurement(rf::Liquid::kMilk, 9);
+    EXPECT_NE(ma.baseline.frames[0].at(0, 0),
+              mb.baseline.frames[0].at(0, 0));
+}
+
+TEST(Scenario, Validation) {
+    ScenarioConfig bad_packets;
+    bad_packets.packets = 0;
+    EXPECT_THROW(Scenario{bad_packets}, Error);
+    ScenarioConfig bad_kappa;
+    bad_kappa.effective_path_fraction = 0.0;
+    EXPECT_THROW(Scenario{bad_kappa}, Error);
+    ScenarioConfig bad_kappa2;
+    bad_kappa2.effective_path_fraction = 1.5;
+    EXPECT_THROW(Scenario{bad_kappa2}, Error);
+}
+
+}  // namespace
+}  // namespace wimi::sim

@@ -1,0 +1,155 @@
+// Tests for descriptive statistics (dsp/stats).
+#include "dsp/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace wimi::dsp {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+    const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(v), 2.5);
+    EXPECT_DOUBLE_EQ(variance(v), 1.25);       // population
+    EXPECT_NEAR(stddev(v), std::sqrt(1.25), 1e-12);
+    EXPECT_NEAR(sample_variance(v), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, EmptyInputsThrow) {
+    const std::vector<double> empty;
+    EXPECT_THROW(mean(empty), Error);
+    EXPECT_THROW(variance(empty), Error);
+    EXPECT_THROW(median(empty), Error);
+    EXPECT_THROW(percentile(empty, 50.0), Error);
+}
+
+TEST(Stats, SampleVarianceNeedsTwo) {
+    const std::vector<double> one = {1.0};
+    EXPECT_THROW(sample_variance(one), Error);
+}
+
+TEST(Stats, MedianOddEven) {
+    const std::vector<double> odd = {5.0, 1.0, 3.0};
+    EXPECT_DOUBLE_EQ(median(odd), 3.0);
+    const std::vector<double> even = {4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(median(even), 2.5);
+    const std::vector<double> single = {7.0};
+    EXPECT_DOUBLE_EQ(median(single), 7.0);
+}
+
+TEST(Stats, MedianAbsoluteDeviation) {
+    const std::vector<double> v = {1.0, 1.0, 2.0, 2.0, 4.0, 6.0, 9.0};
+    // median = 2, deviations = {1,1,0,0,2,4,7}, MAD = 1.
+    EXPECT_DOUBLE_EQ(median_absolute_deviation(v), 1.0);
+    EXPECT_NEAR(robust_sigma(v), 1.0 / 0.6745, 1e-12);
+}
+
+TEST(Stats, RobustSigmaMatchesGaussianSigma) {
+    Rng rng(5);
+    std::vector<double> v;
+    for (int i = 0; i < 50000; ++i) {
+        v.push_back(rng.gaussian(10.0, 3.0));
+    }
+    EXPECT_NEAR(robust_sigma(v), 3.0, 0.1);
+}
+
+TEST(Stats, PercentileInterpolates) {
+    const std::vector<double> v = {10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
+    EXPECT_THROW(percentile(v, 101.0), Error);
+}
+
+TEST(Stats, PearsonCorrelation) {
+    const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+    EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+    const std::vector<double> z = {8.0, 6.0, 4.0, 2.0};
+    EXPECT_NEAR(pearson_correlation(x, z), -1.0, 1e-12);
+    const std::vector<double> c = {5.0, 5.0, 5.0, 5.0};
+    EXPECT_DOUBLE_EQ(pearson_correlation(x, c), 0.0);
+}
+
+TEST(Stats, Rmse) {
+    const std::vector<double> a = {1.0, 2.0};
+    const std::vector<double> b = {1.0, 4.0};
+    EXPECT_NEAR(rmse(a, b), std::sqrt(2.0), 1e-12);
+    EXPECT_DOUBLE_EQ(rmse(a, a), 0.0);
+}
+
+TEST(Stats, SigmaOutlierIndices) {
+    std::vector<double> v(100, 1.0);
+    v[13] = 100.0;  // an obvious outlier
+    const auto outliers = sigma_outlier_indices(v, 3.0);
+    ASSERT_EQ(outliers.size(), 1u);
+    EXPECT_EQ(outliers[0], 13u);
+}
+
+TEST(Stats, RejectSigmaOutliersReplacesWithInlierMean) {
+    std::vector<double> v(50, 2.0);
+    v[7] = 1000.0;
+    const auto cleaned = reject_sigma_outliers(v, 3.0);
+    ASSERT_EQ(cleaned.size(), v.size());
+    EXPECT_NEAR(cleaned[7], 2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(cleaned[0], 2.0);
+}
+
+TEST(Stats, RejectSigmaOutliersNoOpOnCleanData) {
+    const std::vector<double> v = {1.0, 1.1, 0.9, 1.05, 0.95};
+    const auto cleaned = reject_sigma_outliers(v, 3.0);
+    EXPECT_EQ(cleaned, v);
+}
+
+TEST(RunningStats, MatchesBatchStatistics) {
+    Rng rng(9);
+    std::vector<double> v;
+    RunningStats rs;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(-5.0, 5.0);
+        v.push_back(x);
+        rs.add(x);
+    }
+    EXPECT_EQ(rs.count(), 1000u);
+    EXPECT_NEAR(rs.mean(), mean(v), 1e-9);
+    EXPECT_NEAR(rs.variance(), variance(v), 1e-9);
+    EXPECT_DOUBLE_EQ(rs.min(), *std::min_element(v.begin(), v.end()));
+    EXPECT_DOUBLE_EQ(rs.max(), *std::max_element(v.begin(), v.end()));
+}
+
+TEST(RunningStats, EmptyThrows) {
+    RunningStats rs;
+    EXPECT_THROW(rs.mean(), Error);
+    EXPECT_THROW(rs.variance(), Error);
+    EXPECT_THROW(rs.min(), Error);
+}
+
+// Property sweep: variance is non-negative and median lies within range
+// for arbitrary random inputs.
+class StatsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatsProperty, InvariantsHold) {
+    Rng rng(GetParam());
+    std::vector<double> v;
+    const std::size_t n = 1 + rng.uniform_index(200);
+    for (std::size_t i = 0; i < n; ++i) {
+        v.push_back(rng.uniform(-100.0, 100.0));
+    }
+    EXPECT_GE(variance(v), 0.0);
+    const double med = median(v);
+    EXPECT_GE(med, *std::min_element(v.begin(), v.end()));
+    EXPECT_LE(med, *std::max_element(v.begin(), v.end()));
+    EXPECT_GE(median_absolute_deviation(v), 0.0);
+    EXPECT_LE(percentile(v, 25.0), percentile(v, 75.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInputs, StatsProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace wimi::dsp

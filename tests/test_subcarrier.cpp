@@ -1,0 +1,54 @@
+// Tests for the Intel 5300 subcarrier layout.
+#include "csi/subcarrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace wimi::csi {
+namespace {
+
+TEST(Subcarrier, ThirtyGroupedIndices) {
+    const auto& indices = intel5300_subcarrier_indices();
+    EXPECT_EQ(indices.size(), kSubcarrierCount);
+    EXPECT_EQ(indices.front(), -28);
+    EXPECT_EQ(indices.back(), 28);
+    // Strictly increasing, all within the 20 MHz band of +-28.
+    for (std::size_t i = 1; i < indices.size(); ++i) {
+        EXPECT_LT(indices[i - 1], indices[i]);
+        EXPECT_GE(indices[i], -28);
+        EXPECT_LE(indices[i], 28);
+    }
+}
+
+TEST(Subcarrier, StandardGroupingLandmarks) {
+    const auto& indices = intel5300_subcarrier_indices();
+    // The 802.11n Ng=2 grouping includes the -1/+1 pivots around DC.
+    std::set<int> s(indices.begin(), indices.end());
+    EXPECT_TRUE(s.contains(-1));
+    EXPECT_TRUE(s.contains(1));
+    EXPECT_FALSE(s.contains(0));  // DC is never reported
+}
+
+TEST(Subcarrier, FrequenciesCenteredOnCarrier) {
+    const double fc = kDefaultCenterFrequencyHz;
+    const auto freqs = subcarrier_frequencies(fc);
+    ASSERT_EQ(freqs.size(), kSubcarrierCount);
+    EXPECT_NEAR(freqs.front(), fc - 28 * kSubcarrierSpacingHz, 1.0);
+    EXPECT_NEAR(freqs.back(), fc + 28 * kSubcarrierSpacingHz, 1.0);
+    // All within the 20 MHz channel.
+    for (const double f : freqs) {
+        EXPECT_GT(f, fc - 10e6);
+        EXPECT_LT(f, fc + 10e6);
+    }
+}
+
+TEST(Subcarrier, FrequencyValidation) {
+    EXPECT_THROW(subcarrier_frequencies(0.0), Error);
+    EXPECT_THROW(subcarrier_frequencies(-5e9), Error);
+}
+
+}  // namespace
+}  // namespace wimi::csi

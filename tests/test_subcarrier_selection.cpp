@@ -1,0 +1,80 @@
+// Tests for 'good' subcarrier selection (paper Eq. 7, Fig. 6).
+#include "core/subcarrier_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "pipeline_test_util.hpp"
+
+namespace wimi::core {
+namespace {
+
+// Series where phase-difference noise differs per subcarrier: noise std
+// grows with the subcarrier index.
+csi::CsiSeries graded_noise_series(std::size_t packets,
+                                   std::uint64_t seed) {
+    csi::CsiSeries series;
+    Rng rng(seed);
+    for (std::size_t p = 0; p < packets; ++p) {
+        csi::CsiFrame frame(2, 10);
+        for (std::size_t k = 0; k < 10; ++k) {
+            const double noise_std = 0.01 + 0.05 * static_cast<double>(k);
+            frame.at(0, k) =
+                std::polar(1.0, rng.gaussian(0.4, noise_std));
+            frame.at(1, k) = std::polar(1.0, 0.0);
+        }
+        series.frames.push_back(std::move(frame));
+    }
+    return series;
+}
+
+TEST(SubcarrierSelection, VariancesPerSubcarrier) {
+    const auto series = graded_noise_series(300, 1);
+    const auto vars = subcarrier_variances(series, {0, 1});
+    ASSERT_EQ(vars.size(), 10u);
+    // Variance must grow (statistically) with index; compare extremes.
+    EXPECT_LT(vars[0], vars[9]);
+    EXPECT_LT(vars[1], vars[8]);
+}
+
+TEST(SubcarrierSelection, PicksSmallestVariance) {
+    const std::vector<double> vars = {0.5, 0.1, 0.9, 0.05, 0.3};
+    const auto picked = select_good_subcarriers(vars, 2);
+    ASSERT_EQ(picked.size(), 2u);
+    EXPECT_EQ(picked[0], 3u);  // smallest first
+    EXPECT_EQ(picked[1], 1u);
+}
+
+TEST(SubcarrierSelection, FullSelectionIsSortedByVariance) {
+    const std::vector<double> vars = {0.3, 0.1, 0.2};
+    const auto picked = select_good_subcarriers(vars, 3);
+    EXPECT_EQ(picked, (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(SubcarrierSelection, StableOnTies) {
+    const std::vector<double> vars = {0.2, 0.2, 0.1};
+    const auto picked = select_good_subcarriers(vars, 3);
+    EXPECT_EQ(picked, (std::vector<std::size_t>{2, 0, 1}));
+}
+
+TEST(SubcarrierSelection, EndToEndOnGradedSeries) {
+    const auto series = graded_noise_series(300, 3);
+    const auto picked = select_good_subcarriers(series, {0, 1}, 3);
+    ASSERT_EQ(picked.size(), 3u);
+    // The three lowest-noise subcarriers are 0, 1, 2 (order may vary).
+    for (const std::size_t sc : picked) {
+        EXPECT_LT(sc, 4u);
+    }
+}
+
+TEST(SubcarrierSelection, Validation) {
+    const std::vector<double> vars = {0.1, 0.2};
+    EXPECT_THROW(select_good_subcarriers(vars, 0), Error);
+    EXPECT_THROW(select_good_subcarriers(vars, 3), Error);
+    const csi::CsiSeries empty;
+    EXPECT_THROW(subcarrier_variances(empty, {0, 1}), Error);
+}
+
+}  // namespace
+}  // namespace wimi::core

@@ -1,0 +1,61 @@
+// Tests for the text table renderer used by the bench harness.
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace wimi {
+namespace {
+
+TEST(TextTable, RejectsEmptyHeader) {
+    EXPECT_THROW(TextTable({}), Error);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(TextTable, CountsRows) {
+    TextTable t({"a", "b"});
+    EXPECT_EQ(t.row_count(), 0u);
+    t.add_row({"1", "2"});
+    t.add_row({"3", "4"});
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, PrintsAlignedColumns) {
+    TextTable t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"b", "123456"});
+    std::ostringstream out;
+    t.print(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("123456"), std::string::npos);
+    EXPECT_NE(text.find("---"), std::string::npos);
+    // Header + rule + 2 rows = 4 lines.
+    int lines = 0;
+    for (const char c : text) {
+        lines += (c == '\n') ? 1 : 0;
+    }
+    EXPECT_EQ(lines, 4);
+}
+
+TEST(FormatHelpers, FormatDouble) {
+    EXPECT_EQ(format_double(3.14159, 2), "3.14");
+    EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+    EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(FormatHelpers, FormatPercent) {
+    EXPECT_EQ(format_percent(0.96), "96.0%");
+    EXPECT_EQ(format_percent(0.875, 2), "87.50%");
+}
+
+}  // namespace
+}  // namespace wimi

@@ -1,0 +1,99 @@
+// Tests for CSI trace serialization.
+#include "csi/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace wimi::csi {
+namespace {
+
+CsiSeries sample_series(std::size_t packets) {
+    Rng rng(3);
+    CsiSeries series;
+    for (std::size_t p = 0; p < packets; ++p) {
+        CsiFrame frame(2, 5);
+        frame.timestamp_s = 0.01 * static_cast<double>(p);
+        frame.rssi_dbm = -40.0 - static_cast<double>(p);
+        for (Complex& h : frame.raw()) {
+            h = Complex(rng.gaussian(), rng.gaussian());
+        }
+        series.frames.push_back(std::move(frame));
+    }
+    return series;
+}
+
+void expect_equal(const CsiSeries& a, const CsiSeries& b) {
+    ASSERT_EQ(a.packet_count(), b.packet_count());
+    ASSERT_EQ(a.antenna_count(), b.antenna_count());
+    ASSERT_EQ(a.subcarrier_count(), b.subcarrier_count());
+    for (std::size_t p = 0; p < a.packet_count(); ++p) {
+        EXPECT_DOUBLE_EQ(a.frames[p].timestamp_s, b.frames[p].timestamp_s);
+        EXPECT_DOUBLE_EQ(a.frames[p].rssi_dbm, b.frames[p].rssi_dbm);
+        for (std::size_t i = 0; i < a.frames[p].raw().size(); ++i) {
+            EXPECT_EQ(a.frames[p].raw()[i], b.frames[p].raw()[i]);
+        }
+    }
+}
+
+TEST(TraceIo, StreamRoundTrip) {
+    const auto series = sample_series(7);
+    std::stringstream buffer;
+    write_trace(buffer, series);
+    const auto back = read_trace(buffer);
+    expect_equal(series, back);
+}
+
+TEST(TraceIo, EmptySeriesRoundTrip) {
+    CsiSeries empty;
+    std::stringstream buffer;
+    write_trace(buffer, empty);
+    const auto back = read_trace(buffer);
+    EXPECT_TRUE(back.empty());
+}
+
+TEST(TraceIo, FileRoundTrip) {
+    const auto series = sample_series(3);
+    const auto path =
+        std::filesystem::temp_directory_path() / "wimi_trace_test.wcsi";
+    write_trace_file(path, series);
+    const auto back = read_trace_file(path);
+    expect_equal(series, back);
+    std::filesystem::remove(path);
+}
+
+TEST(TraceIo, BadMagicRejected) {
+    std::stringstream buffer;
+    buffer << "NOPE and some garbage follows here";
+    EXPECT_THROW(read_trace(buffer), Error);
+}
+
+TEST(TraceIo, TruncatedStreamRejected) {
+    const auto series = sample_series(4);
+    std::stringstream buffer;
+    write_trace(buffer, series);
+    const std::string full = buffer.str();
+    std::stringstream truncated(full.substr(0, full.size() / 2));
+    EXPECT_THROW(read_trace(truncated), Error);
+}
+
+TEST(TraceIo, MissingFileRejected) {
+    EXPECT_THROW(read_trace_file("/nonexistent/path/to/trace.wcsi"), Error);
+}
+
+TEST(TraceIo, InconsistentSeriesRejectedOnWrite) {
+    CsiSeries series;
+    series.frames.emplace_back(2, 5);
+    series.frames.front().at(0, 0) = Complex(1.0, 0.0);
+    series.frames.emplace_back(3, 5);
+    std::stringstream buffer;
+    EXPECT_THROW(write_trace(buffer, series), Error);
+}
+
+}  // namespace
+}  // namespace wimi::csi

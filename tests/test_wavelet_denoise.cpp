@@ -1,0 +1,151 @@
+// Tests for the spatially-selective wavelet-correlation denoiser
+// (paper Sec. III-C, Eq. 8-13).
+#include "dsp/wavelet_denoise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dsp/stats.hpp"
+
+namespace wimi::dsp {
+namespace {
+
+// A slow drift plus plateau, resembling a CSI amplitude series.
+std::vector<double> smooth_signal(std::size_t n) {
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        v[i] = 10.0 + std::sin(2.0 * M_PI * static_cast<double>(i) /
+                               static_cast<double>(n));
+    }
+    return v;
+}
+
+std::vector<double> add_impulses(std::vector<double> v, double magnitude,
+                                 std::uint64_t seed, double probability) {
+    Rng rng(seed);
+    for (double& x : v) {
+        if (rng.bernoulli(probability)) {
+            x += (rng.bernoulli(0.5) ? 1.0 : -1.0) * magnitude;
+        }
+    }
+    return v;
+}
+
+TEST(WaveletDenoise, ReducesImpulseError) {
+    const auto clean = smooth_signal(256);
+    const auto noisy = add_impulses(clean, 8.0, 11, 0.05);
+    const auto denoised = wavelet_correlation_denoise(noisy);
+    ASSERT_EQ(denoised.size(), clean.size());
+    EXPECT_LT(rmse(denoised, clean), 0.5 * rmse(noisy, clean));
+}
+
+TEST(WaveletDenoise, NearlyPreservesCleanSignal) {
+    const auto clean = smooth_signal(256);
+    const auto denoised = wavelet_correlation_denoise(clean);
+    EXPECT_LT(rmse(denoised, clean), 0.05);
+}
+
+TEST(WaveletDenoise, PreservesMeanLevel) {
+    const auto clean = smooth_signal(128);
+    const auto noisy = add_impulses(clean, 10.0, 13, 0.04);
+    const auto denoised = wavelet_correlation_denoise(noisy);
+    EXPECT_NEAR(mean(denoised), mean(clean), 0.3);
+}
+
+TEST(WaveletDenoise, ReportIsFilled) {
+    const auto noisy = add_impulses(smooth_signal(128), 6.0, 17, 0.06);
+    WaveletDenoiseConfig config;
+    config.levels = 4;
+    WaveletDenoiseReport report;
+    wavelet_correlation_denoise(noisy, config, &report);
+    ASSERT_EQ(report.iterations_per_scale.size(), 4u);
+    ASSERT_EQ(report.residual_power_per_scale.size(), 4u);
+    ASSERT_EQ(report.noise_threshold_per_scale.size(), 4u);
+    for (const double t : report.noise_threshold_per_scale) {
+        EXPECT_GE(t, 0.0);
+    }
+    // At least one scale must have iterated on impulse-laden data.
+    std::size_t total_iterations = 0;
+    for (const std::size_t it : report.iterations_per_scale) {
+        total_iterations += it;
+    }
+    EXPECT_GT(total_iterations, 0u);
+}
+
+TEST(WaveletDenoise, IterationsBounded) {
+    const auto noisy = add_impulses(smooth_signal(512), 20.0, 19, 0.2);
+    WaveletDenoiseConfig config;
+    config.max_iterations = 5;
+    WaveletDenoiseReport report;
+    wavelet_correlation_denoise(noisy, config, &report);
+    for (const std::size_t it : report.iterations_per_scale) {
+        EXPECT_LE(it, 5u);
+    }
+}
+
+TEST(WaveletDenoise, Validation) {
+    const std::vector<double> tiny = {1.0, 2.0, 3.0};
+    EXPECT_THROW(wavelet_correlation_denoise(tiny), Error);
+    const auto x = smooth_signal(64);
+    WaveletDenoiseConfig config;
+    config.levels = 1;  // needs >= 2 scales for adjacent correlation
+    EXPECT_THROW(wavelet_correlation_denoise(x, config), Error);
+}
+
+TEST(WaveletDenoise, BeatsNothingOnGaussianPlusImpulse) {
+    Rng rng(23);
+    auto clean = smooth_signal(400);
+    auto noisy = clean;
+    for (double& x : noisy) {
+        x += rng.gaussian(0.0, 0.1);
+    }
+    noisy = add_impulses(noisy, 5.0, 29, 0.05);
+    const auto denoised = wavelet_correlation_denoise(noisy);
+    EXPECT_LT(rmse(denoised, clean), rmse(noisy, clean));
+}
+
+TEST(UniversalThreshold, RemovesGaussianNoise) {
+    Rng rng(31);
+    const auto clean = smooth_signal(256);
+    auto noisy = clean;
+    for (double& x : noisy) {
+        x += rng.gaussian(0.0, 0.3);
+    }
+    const auto denoised = universal_threshold_denoise(noisy, 3);
+    ASSERT_EQ(denoised.size(), clean.size());
+    EXPECT_LT(rmse(denoised, clean), rmse(noisy, clean));
+}
+
+TEST(UniversalThreshold, Validation) {
+    const std::vector<double> tiny = {1.0, 2.0};
+    EXPECT_THROW(universal_threshold_denoise(tiny, 2), Error);
+}
+
+// Property: denoising never changes the series length and output stays
+// within a generous envelope of the input range.
+class DenoiseProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DenoiseProperty, OutputBounded) {
+    Rng rng(GetParam());
+    std::vector<double> v;
+    const std::size_t n = 32 + rng.uniform_index(300);
+    for (std::size_t i = 0; i < n; ++i) {
+        v.push_back(rng.uniform(0.0, 10.0));
+    }
+    const auto out = wavelet_correlation_denoise(v);
+    ASSERT_EQ(out.size(), v.size());
+    for (const double x : out) {
+        EXPECT_GT(x, -20.0);
+        EXPECT_LT(x, 30.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeries, DenoiseProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace wimi::dsp

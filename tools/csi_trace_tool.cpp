@@ -1,0 +1,170 @@
+// csi_trace_tool — inspect and generate WCSI trace files.
+//
+// The pipeline's examples and (with real hardware) the CSI Tool produce
+// binary .wcsi traces; this utility answers "what's in this file?" from
+// the command line.
+//
+//   csi_trace_tool info <trace>            header + per-antenna summary
+//   csi_trace_tool pdp <trace> [antenna]   averaged power delay profile
+//   csi_trace_tool phase <trace> <sc>      phase-difference stats at a SC
+//   csi_trace_tool generate <trace> [env]  record a simulated capture
+//                                          (env: hall | lab | library)
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "core/phase_calibration.hpp"
+#include "csi/pdp.hpp"
+#include "csi/trace_io.hpp"
+#include "dsp/circular.hpp"
+#include "dsp/stats.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace wimi;
+
+int cmd_info(const std::string& path) {
+    const auto series = csi::read_trace_file(path);
+    std::cout << path << ":\n"
+              << "  packets:     " << series.packet_count() << '\n'
+              << "  antennas:    " << series.antenna_count() << '\n'
+              << "  subcarriers: " << series.subcarrier_count() << '\n';
+    if (series.empty()) {
+        return 0;
+    }
+    std::cout << "  duration:    " << series.frames.back().timestamp_s
+              << " s\n\n";
+    TextTable table({"antenna", "mean |H|", "amplitude CV", "mean RSSI"});
+    for (std::size_t a = 0; a < series.antenna_count(); ++a) {
+        dsp::RunningStats amplitude;
+        for (const auto& frame : series.frames) {
+            for (std::size_t k = 0; k < series.subcarrier_count(); ++k) {
+                amplitude.add(frame.amplitude(a, k));
+            }
+        }
+        dsp::RunningStats rssi;
+        for (const auto& frame : series.frames) {
+            rssi.add(frame.rssi_dbm);
+        }
+        table.add_row({std::to_string(a + 1),
+                       format_double(amplitude.mean(), 4),
+                       format_double(amplitude.stddev() / amplitude.mean(),
+                                     3),
+                       format_double(rssi.mean(), 1) + " dB"});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int cmd_pdp(const std::string& path, std::size_t antenna) {
+    const auto series = csi::read_trace_file(path);
+    ensure(!series.empty(), "trace has no packets");
+    const auto profile =
+        csi::average_power_delay_profile(series, antenna, 128);
+    std::cout << "Averaged power delay profile, antenna " << antenna + 1
+              << " (bin = "
+              << format_double(profile.bin_spacing_s * 1e9, 1) << " ns):\n";
+    // ASCII profile over the first 40 bins (~1 us).
+    for (std::size_t i = 0; i < 40; ++i) {
+        const double db = 10.0 * std::log10(profile.power[i] + 1e-12);
+        const int bars =
+            std::max(0, static_cast<int>((db + 40.0) * (60.0 / 40.0)));
+        std::cout << format_double(
+                         static_cast<double>(i) * profile.bin_spacing_s *
+                             1e9,
+                         0)
+                  << "ns\t" << format_double(db, 1) << " dB\t"
+                  << std::string(static_cast<std::size_t>(bars), '#')
+                  << '\n';
+    }
+    std::cout << "RMS delay spread: "
+              << format_double(csi::rms_delay_spread(profile) * 1e9, 1)
+              << " ns\n";
+    return 0;
+}
+
+int cmd_phase(const std::string& path, std::size_t subcarrier) {
+    const auto series = csi::read_trace_file(path);
+    ensure(series.antenna_count() >= 2,
+           "phase statistics need at least two antennas");
+    TextTable table({"antenna pair", "circ. mean (deg)",
+                     "spread 95% (deg)", "Eq.7 variance"});
+    for (const auto pair :
+         core::all_antenna_pairs(series.antenna_count())) {
+        const auto diffs =
+            core::phase_difference_series(series, pair, subcarrier);
+        table.add_row(
+            {std::to_string(pair.first + 1) + "&" +
+                 std::to_string(pair.second + 1),
+             format_double(rad_to_deg(dsp::circular_mean(diffs)), 1),
+             format_double(dsp::angular_spread_deg(diffs), 1),
+             format_double(core::phase_difference_variance(series, pair,
+                                                           subcarrier),
+                           4)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int cmd_generate(const std::string& path, const std::string& env_name) {
+    sim::ScenarioConfig setup;
+    if (env_name == "hall") {
+        setup.environment = rf::Environment::kHall;
+    } else if (env_name == "library") {
+        setup.environment = rf::Environment::kLibrary;
+    } else if (env_name == "lab" || env_name.empty()) {
+        setup.environment = rf::Environment::kLab;
+    } else {
+        fail("unknown environment (use hall | lab | library)");
+    }
+    const sim::Scenario scenario(setup);
+    const auto series = scenario.capture_reference(12345, 200);
+    csi::write_trace_file(path, series);
+    std::cout << "Wrote 200-packet " << env_name << " baseline capture to "
+              << path << '\n';
+    return 0;
+}
+
+int usage() {
+    std::cerr << "usage:\n"
+              << "  csi_trace_tool info <trace.wcsi>\n"
+              << "  csi_trace_tool pdp <trace.wcsi> [antenna]\n"
+              << "  csi_trace_tool phase <trace.wcsi> <subcarrier>\n"
+              << "  csi_trace_tool generate <trace.wcsi> [hall|lab|library]\n";
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 3) {
+        return usage();
+    }
+    const std::string_view command = argv[1];
+    const std::string path = argv[2];
+    try {
+        if (command == "info") {
+            return cmd_info(path);
+        }
+        if (command == "pdp") {
+            return cmd_pdp(path,
+                           argc > 3 ? std::stoul(argv[3]) - 1 : 0);
+        }
+        if (command == "phase") {
+            if (argc < 4) {
+                return usage();
+            }
+            return cmd_phase(path, std::stoul(argv[3]) - 1);
+        }
+        if (command == "generate") {
+            return cmd_generate(path, argc > 3 ? argv[3] : "lab");
+        }
+        return usage();
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+}
