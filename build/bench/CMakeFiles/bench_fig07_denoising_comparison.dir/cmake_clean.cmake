@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_denoising_comparison.dir/bench_fig07_denoising_comparison.cpp.o"
+  "CMakeFiles/bench_fig07_denoising_comparison.dir/bench_fig07_denoising_comparison.cpp.o.d"
+  "bench_fig07_denoising_comparison"
+  "bench_fig07_denoising_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_denoising_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_antenna_combinations.dir/bench_fig10_antenna_combinations.cpp.o"
+  "CMakeFiles/bench_fig10_antenna_combinations.dir/bench_fig10_antenna_combinations.cpp.o.d"
+  "bench_fig10_antenna_combinations"
+  "bench_fig10_antenna_combinations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_antenna_combinations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

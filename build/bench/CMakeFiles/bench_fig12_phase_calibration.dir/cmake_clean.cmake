@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_phase_calibration.dir/bench_fig12_phase_calibration.cpp.o"
+  "CMakeFiles/bench_fig12_phase_calibration.dir/bench_fig12_phase_calibration.cpp.o.d"
+  "bench_fig12_phase_calibration"
+  "bench_fig12_phase_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_phase_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_confusion_10liquids.dir/bench_fig15_confusion_10liquids.cpp.o"
+  "CMakeFiles/bench_fig15_confusion_10liquids.dir/bench_fig15_confusion_10liquids.cpp.o.d"
+  "bench_fig15_confusion_10liquids"
+  "bench_fig15_confusion_10liquids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_confusion_10liquids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_container_material.dir/bench_fig20_container_material.cpp.o"
+  "CMakeFiles/bench_fig20_container_material.dir/bench_fig20_container_material.cpp.o.d"
+  "bench_fig20_container_material"
+  "bench_fig20_container_material.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_container_material.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_limitation_mixture.dir/bench_limitation_mixture.cpp.o"
+  "CMakeFiles/bench_limitation_mixture.dir/bench_limitation_mixture.cpp.o.d"
+  "bench_limitation_mixture"
+  "bench_limitation_mixture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_limitation_mixture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cola_challenge.dir/cola_challenge.cpp.o"
+  "CMakeFiles/cola_challenge.dir/cola_challenge.cpp.o.d"
+  "cola_challenge"
+  "cola_challenge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cola_challenge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

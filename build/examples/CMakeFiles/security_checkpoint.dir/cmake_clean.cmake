@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_checkpoint.dir/security_checkpoint.cpp.o"
+  "CMakeFiles/security_checkpoint.dir/security_checkpoint.cpp.o.d"
+  "security_checkpoint"
+  "security_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

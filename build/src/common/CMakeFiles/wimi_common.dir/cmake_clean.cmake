@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimi_common.dir/error.cpp.o"
+  "CMakeFiles/wimi_common.dir/error.cpp.o.d"
+  "CMakeFiles/wimi_common.dir/rng.cpp.o"
+  "CMakeFiles/wimi_common.dir/rng.cpp.o.d"
+  "CMakeFiles/wimi_common.dir/table.cpp.o"
+  "CMakeFiles/wimi_common.dir/table.cpp.o.d"
+  "libwimi_common.a"
+  "libwimi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/amplitude_denoising.cpp" "src/core/CMakeFiles/wimi_core.dir/amplitude_denoising.cpp.o" "gcc" "src/core/CMakeFiles/wimi_core.dir/amplitude_denoising.cpp.o.d"
+  "/root/repo/src/core/antenna_selection.cpp" "src/core/CMakeFiles/wimi_core.dir/antenna_selection.cpp.o" "gcc" "src/core/CMakeFiles/wimi_core.dir/antenna_selection.cpp.o.d"
+  "/root/repo/src/core/material_database.cpp" "src/core/CMakeFiles/wimi_core.dir/material_database.cpp.o" "gcc" "src/core/CMakeFiles/wimi_core.dir/material_database.cpp.o.d"
+  "/root/repo/src/core/material_feature.cpp" "src/core/CMakeFiles/wimi_core.dir/material_feature.cpp.o" "gcc" "src/core/CMakeFiles/wimi_core.dir/material_feature.cpp.o.d"
+  "/root/repo/src/core/phase_calibration.cpp" "src/core/CMakeFiles/wimi_core.dir/phase_calibration.cpp.o" "gcc" "src/core/CMakeFiles/wimi_core.dir/phase_calibration.cpp.o.d"
+  "/root/repo/src/core/subcarrier_selection.cpp" "src/core/CMakeFiles/wimi_core.dir/subcarrier_selection.cpp.o" "gcc" "src/core/CMakeFiles/wimi_core.dir/subcarrier_selection.cpp.o.d"
+  "/root/repo/src/core/wimi.cpp" "src/core/CMakeFiles/wimi_core.dir/wimi.cpp.o" "gcc" "src/core/CMakeFiles/wimi_core.dir/wimi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wimi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/wimi_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/csi/CMakeFiles/wimi_csi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/wimi_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/wimi_rf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

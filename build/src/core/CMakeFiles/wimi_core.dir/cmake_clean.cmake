@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimi_core.dir/amplitude_denoising.cpp.o"
+  "CMakeFiles/wimi_core.dir/amplitude_denoising.cpp.o.d"
+  "CMakeFiles/wimi_core.dir/antenna_selection.cpp.o"
+  "CMakeFiles/wimi_core.dir/antenna_selection.cpp.o.d"
+  "CMakeFiles/wimi_core.dir/material_database.cpp.o"
+  "CMakeFiles/wimi_core.dir/material_database.cpp.o.d"
+  "CMakeFiles/wimi_core.dir/material_feature.cpp.o"
+  "CMakeFiles/wimi_core.dir/material_feature.cpp.o.d"
+  "CMakeFiles/wimi_core.dir/phase_calibration.cpp.o"
+  "CMakeFiles/wimi_core.dir/phase_calibration.cpp.o.d"
+  "CMakeFiles/wimi_core.dir/subcarrier_selection.cpp.o"
+  "CMakeFiles/wimi_core.dir/subcarrier_selection.cpp.o.d"
+  "CMakeFiles/wimi_core.dir/wimi.cpp.o"
+  "CMakeFiles/wimi_core.dir/wimi.cpp.o.d"
+  "libwimi_core.a"
+  "libwimi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/csi/capture.cpp" "src/csi/CMakeFiles/wimi_csi.dir/capture.cpp.o" "gcc" "src/csi/CMakeFiles/wimi_csi.dir/capture.cpp.o.d"
+  "/root/repo/src/csi/frame.cpp" "src/csi/CMakeFiles/wimi_csi.dir/frame.cpp.o" "gcc" "src/csi/CMakeFiles/wimi_csi.dir/frame.cpp.o.d"
+  "/root/repo/src/csi/impairments.cpp" "src/csi/CMakeFiles/wimi_csi.dir/impairments.cpp.o" "gcc" "src/csi/CMakeFiles/wimi_csi.dir/impairments.cpp.o.d"
+  "/root/repo/src/csi/pdp.cpp" "src/csi/CMakeFiles/wimi_csi.dir/pdp.cpp.o" "gcc" "src/csi/CMakeFiles/wimi_csi.dir/pdp.cpp.o.d"
+  "/root/repo/src/csi/quantizer.cpp" "src/csi/CMakeFiles/wimi_csi.dir/quantizer.cpp.o" "gcc" "src/csi/CMakeFiles/wimi_csi.dir/quantizer.cpp.o.d"
+  "/root/repo/src/csi/subcarrier.cpp" "src/csi/CMakeFiles/wimi_csi.dir/subcarrier.cpp.o" "gcc" "src/csi/CMakeFiles/wimi_csi.dir/subcarrier.cpp.o.d"
+  "/root/repo/src/csi/trace_io.cpp" "src/csi/CMakeFiles/wimi_csi.dir/trace_io.cpp.o" "gcc" "src/csi/CMakeFiles/wimi_csi.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wimi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/wimi_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/wimi_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimi_csi.dir/capture.cpp.o"
+  "CMakeFiles/wimi_csi.dir/capture.cpp.o.d"
+  "CMakeFiles/wimi_csi.dir/frame.cpp.o"
+  "CMakeFiles/wimi_csi.dir/frame.cpp.o.d"
+  "CMakeFiles/wimi_csi.dir/impairments.cpp.o"
+  "CMakeFiles/wimi_csi.dir/impairments.cpp.o.d"
+  "CMakeFiles/wimi_csi.dir/pdp.cpp.o"
+  "CMakeFiles/wimi_csi.dir/pdp.cpp.o.d"
+  "CMakeFiles/wimi_csi.dir/quantizer.cpp.o"
+  "CMakeFiles/wimi_csi.dir/quantizer.cpp.o.d"
+  "CMakeFiles/wimi_csi.dir/subcarrier.cpp.o"
+  "CMakeFiles/wimi_csi.dir/subcarrier.cpp.o.d"
+  "CMakeFiles/wimi_csi.dir/trace_io.cpp.o"
+  "CMakeFiles/wimi_csi.dir/trace_io.cpp.o.d"
+  "libwimi_csi.a"
+  "libwimi_csi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimi_csi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

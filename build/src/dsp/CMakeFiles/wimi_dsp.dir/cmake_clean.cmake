@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimi_dsp.dir/circular.cpp.o"
+  "CMakeFiles/wimi_dsp.dir/circular.cpp.o.d"
+  "CMakeFiles/wimi_dsp.dir/fft.cpp.o"
+  "CMakeFiles/wimi_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/wimi_dsp.dir/filters.cpp.o"
+  "CMakeFiles/wimi_dsp.dir/filters.cpp.o.d"
+  "CMakeFiles/wimi_dsp.dir/stats.cpp.o"
+  "CMakeFiles/wimi_dsp.dir/stats.cpp.o.d"
+  "CMakeFiles/wimi_dsp.dir/wavelet.cpp.o"
+  "CMakeFiles/wimi_dsp.dir/wavelet.cpp.o.d"
+  "CMakeFiles/wimi_dsp.dir/wavelet_denoise.cpp.o"
+  "CMakeFiles/wimi_dsp.dir/wavelet_denoise.cpp.o.d"
+  "libwimi_dsp.a"
+  "libwimi_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimi_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

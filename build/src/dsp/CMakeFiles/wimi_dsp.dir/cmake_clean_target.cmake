@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwimi_dsp.a"
+)

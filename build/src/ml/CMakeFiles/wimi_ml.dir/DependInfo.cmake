@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/wimi_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/wimi_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/grid_search.cpp" "src/ml/CMakeFiles/wimi_ml.dir/grid_search.cpp.o" "gcc" "src/ml/CMakeFiles/wimi_ml.dir/grid_search.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/wimi_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/wimi_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/wimi_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/wimi_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/wimi_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/wimi_ml.dir/scaler.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/ml/CMakeFiles/wimi_ml.dir/svm.cpp.o" "gcc" "src/ml/CMakeFiles/wimi_ml.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wimi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimi_ml.dir/dataset.cpp.o"
+  "CMakeFiles/wimi_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/wimi_ml.dir/grid_search.cpp.o"
+  "CMakeFiles/wimi_ml.dir/grid_search.cpp.o.d"
+  "CMakeFiles/wimi_ml.dir/knn.cpp.o"
+  "CMakeFiles/wimi_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/wimi_ml.dir/metrics.cpp.o"
+  "CMakeFiles/wimi_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/wimi_ml.dir/scaler.cpp.o"
+  "CMakeFiles/wimi_ml.dir/scaler.cpp.o.d"
+  "CMakeFiles/wimi_ml.dir/svm.cpp.o"
+  "CMakeFiles/wimi_ml.dir/svm.cpp.o.d"
+  "libwimi_ml.a"
+  "libwimi_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimi_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rf/channel.cpp" "src/rf/CMakeFiles/wimi_rf.dir/channel.cpp.o" "gcc" "src/rf/CMakeFiles/wimi_rf.dir/channel.cpp.o.d"
+  "/root/repo/src/rf/environment.cpp" "src/rf/CMakeFiles/wimi_rf.dir/environment.cpp.o" "gcc" "src/rf/CMakeFiles/wimi_rf.dir/environment.cpp.o.d"
+  "/root/repo/src/rf/fresnel.cpp" "src/rf/CMakeFiles/wimi_rf.dir/fresnel.cpp.o" "gcc" "src/rf/CMakeFiles/wimi_rf.dir/fresnel.cpp.o.d"
+  "/root/repo/src/rf/geometry.cpp" "src/rf/CMakeFiles/wimi_rf.dir/geometry.cpp.o" "gcc" "src/rf/CMakeFiles/wimi_rf.dir/geometry.cpp.o.d"
+  "/root/repo/src/rf/material.cpp" "src/rf/CMakeFiles/wimi_rf.dir/material.cpp.o" "gcc" "src/rf/CMakeFiles/wimi_rf.dir/material.cpp.o.d"
+  "/root/repo/src/rf/mixture.cpp" "src/rf/CMakeFiles/wimi_rf.dir/mixture.cpp.o" "gcc" "src/rf/CMakeFiles/wimi_rf.dir/mixture.cpp.o.d"
+  "/root/repo/src/rf/propagation.cpp" "src/rf/CMakeFiles/wimi_rf.dir/propagation.cpp.o" "gcc" "src/rf/CMakeFiles/wimi_rf.dir/propagation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wimi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/wimi_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

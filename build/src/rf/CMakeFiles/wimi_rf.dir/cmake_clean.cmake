@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimi_rf.dir/channel.cpp.o"
+  "CMakeFiles/wimi_rf.dir/channel.cpp.o.d"
+  "CMakeFiles/wimi_rf.dir/environment.cpp.o"
+  "CMakeFiles/wimi_rf.dir/environment.cpp.o.d"
+  "CMakeFiles/wimi_rf.dir/fresnel.cpp.o"
+  "CMakeFiles/wimi_rf.dir/fresnel.cpp.o.d"
+  "CMakeFiles/wimi_rf.dir/geometry.cpp.o"
+  "CMakeFiles/wimi_rf.dir/geometry.cpp.o.d"
+  "CMakeFiles/wimi_rf.dir/material.cpp.o"
+  "CMakeFiles/wimi_rf.dir/material.cpp.o.d"
+  "CMakeFiles/wimi_rf.dir/mixture.cpp.o"
+  "CMakeFiles/wimi_rf.dir/mixture.cpp.o.d"
+  "CMakeFiles/wimi_rf.dir/propagation.cpp.o"
+  "CMakeFiles/wimi_rf.dir/propagation.cpp.o.d"
+  "libwimi_rf.a"
+  "libwimi_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimi_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimi_sim.dir/harness.cpp.o"
+  "CMakeFiles/wimi_sim.dir/harness.cpp.o.d"
+  "CMakeFiles/wimi_sim.dir/scenario.cpp.o"
+  "CMakeFiles/wimi_sim.dir/scenario.cpp.o.d"
+  "libwimi_sim.a"
+  "libwimi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

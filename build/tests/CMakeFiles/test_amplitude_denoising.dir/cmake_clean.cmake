@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_amplitude_denoising.dir/test_amplitude_denoising.cpp.o"
+  "CMakeFiles/test_amplitude_denoising.dir/test_amplitude_denoising.cpp.o.d"
+  "test_amplitude_denoising"
+  "test_amplitude_denoising.pdb"
+  "test_amplitude_denoising[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_amplitude_denoising.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_antenna_selection.dir/test_antenna_selection.cpp.o"
+  "CMakeFiles/test_antenna_selection.dir/test_antenna_selection.cpp.o.d"
+  "test_antenna_selection"
+  "test_antenna_selection.pdb"
+  "test_antenna_selection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_antenna_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circular.dir/test_circular.cpp.o"
+  "CMakeFiles/test_circular.dir/test_circular.cpp.o.d"
+  "test_circular"
+  "test_circular.pdb"
+  "test_circular[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fresnel.dir/test_fresnel.cpp.o"
+  "CMakeFiles/test_fresnel.dir/test_fresnel.cpp.o.d"
+  "test_fresnel"
+  "test_fresnel.pdb"
+  "test_fresnel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fresnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_fresnel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_search.dir/test_grid_search.cpp.o"
+  "CMakeFiles/test_grid_search.dir/test_grid_search.cpp.o.d"
+  "test_grid_search"
+  "test_grid_search.pdb"
+  "test_grid_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_impairments.dir/test_impairments.cpp.o"
+  "CMakeFiles/test_impairments.dir/test_impairments.cpp.o.d"
+  "test_impairments"
+  "test_impairments.pdb"
+  "test_impairments[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_impairments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

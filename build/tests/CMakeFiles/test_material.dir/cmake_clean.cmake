@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_material.dir/test_material.cpp.o"
+  "CMakeFiles/test_material.dir/test_material.cpp.o.d"
+  "test_material"
+  "test_material.pdb"
+  "test_material[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_material.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_material_database.cpp" "tests/CMakeFiles/test_material_database.dir/test_material_database.cpp.o" "gcc" "tests/CMakeFiles/test_material_database.dir/test_material_database.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wimi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wimi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/csi/CMakeFiles/wimi_csi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/wimi_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/wimi_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/wimi_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wimi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_material_database.dir/test_material_database.cpp.o"
+  "CMakeFiles/test_material_database.dir/test_material_database.cpp.o.d"
+  "test_material_database"
+  "test_material_database.pdb"
+  "test_material_database[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_material_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase_calibration.dir/test_phase_calibration.cpp.o"
+  "CMakeFiles/test_phase_calibration.dir/test_phase_calibration.cpp.o.d"
+  "test_phase_calibration"
+  "test_phase_calibration.pdb"
+  "test_phase_calibration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

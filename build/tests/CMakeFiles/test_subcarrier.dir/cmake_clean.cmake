@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subcarrier.dir/test_subcarrier.cpp.o"
+  "CMakeFiles/test_subcarrier.dir/test_subcarrier.cpp.o.d"
+  "test_subcarrier"
+  "test_subcarrier.pdb"
+  "test_subcarrier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subcarrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

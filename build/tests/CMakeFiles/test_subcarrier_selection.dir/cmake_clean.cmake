@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subcarrier_selection.dir/test_subcarrier_selection.cpp.o"
+  "CMakeFiles/test_subcarrier_selection.dir/test_subcarrier_selection.cpp.o.d"
+  "test_subcarrier_selection"
+  "test_subcarrier_selection.pdb"
+  "test_subcarrier_selection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subcarrier_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wavelet.dir/test_wavelet.cpp.o"
+  "CMakeFiles/test_wavelet.dir/test_wavelet.cpp.o.d"
+  "test_wavelet"
+  "test_wavelet.pdb"
+  "test_wavelet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wavelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

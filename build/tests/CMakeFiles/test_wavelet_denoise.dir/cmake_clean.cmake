@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wavelet_denoise.dir/test_wavelet_denoise.cpp.o"
+  "CMakeFiles/test_wavelet_denoise.dir/test_wavelet_denoise.cpp.o.d"
+  "test_wavelet_denoise"
+  "test_wavelet_denoise.pdb"
+  "test_wavelet_denoise[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wavelet_denoise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

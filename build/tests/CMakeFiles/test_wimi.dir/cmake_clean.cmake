@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wimi.dir/test_wimi.cpp.o"
+  "CMakeFiles/test_wimi.dir/test_wimi.cpp.o.d"
+  "test_wimi"
+  "test_wimi.pdb"
+  "test_wimi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wimi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csi_trace_tool.dir/csi_trace_tool.cpp.o"
+  "CMakeFiles/csi_trace_tool.dir/csi_trace_tool.cpp.o.d"
+  "csi_trace_tool"
+  "csi_trace_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csi_trace_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
