@@ -2,13 +2,26 @@
 // pipeline stages. Not a paper figure — the paper runs at 100 packets/s,
 // and these numbers show the pipeline is orders of magnitude faster than
 // real time on commodity CPUs.
+//
+// After the google-benchmark suite, the binary measures the cost of the
+// observability layer itself: end-to-end identify throughput with the
+// instrumentation live vs. killed (obs::set_enabled(false), the same
+// one-atomic-load floor a WIMI_OBS_DISABLED build pays at most). The
+// comparison is printed and written to BENCH_pipeline.json so CI can
+// track the perf/quality trajectory.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
 
 #include "common/rng.hpp"
 #include "core/material_feature.hpp"
 #include "core/subcarrier_selection.hpp"
 #include "core/wimi.hpp"
 #include "dsp/wavelet_denoise.hpp"
+#include "obs/obs.hpp"
 #include "sim/scenario.hpp"
 
 namespace {
@@ -111,4 +124,105 @@ void BM_SvmTraining(benchmark::State& state) {
 }
 BENCHMARK(BM_SvmTraining)->Unit(benchmark::kMillisecond);
 
+/// Identifications per second over `iterations` end-to-end identify calls
+/// on a trained instance.
+double measure_identify_rate(const core::Wimi& wimi,
+                             const sim::MeasurementPair& unknown,
+                             std::size_t iterations) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iterations; ++i) {
+        benchmark::DoNotOptimize(
+            wimi.identify(unknown.baseline, unknown.target));
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return static_cast<double>(iterations) / elapsed.count();
+}
+
+/// Observability overhead A/B on the end-to-end identify path. Returns
+/// the overhead percentage (positive = obs-on is slower).
+double run_obs_overhead_comparison(const char* report_path) {
+    const auto& scenario = lab_scenario();
+    core::Wimi wimi;
+    wimi.calibrate(scenario.capture_reference(5));
+    Rng rng(11);
+    for (const rf::Liquid liquid :
+         {rf::Liquid::kPureWater, rf::Liquid::kMilk, rf::Liquid::kHoney}) {
+        for (int rep = 0; rep < 6; ++rep) {
+            const auto m =
+                scenario.capture_measurement(liquid, rng.next_u64());
+            wimi.enroll(rf::liquid_name(liquid), m.baseline, m.target);
+        }
+    }
+    wimi.train();
+    const auto unknown =
+        scenario.capture_measurement(rf::Liquid::kMilk, 999);
+
+    constexpr std::size_t kWarmup = 30;
+    constexpr std::size_t kIterations = 200;
+    constexpr int kRounds = 3;
+
+    measure_identify_rate(wimi, unknown, kWarmup);
+    // Interleave the arms and keep each arm's best round so transient
+    // machine noise (frequency scaling, a background task) does not land
+    // on one side only.
+    double rate_on = 0.0;
+    double rate_off = 0.0;
+    for (int round = 0; round < kRounds; ++round) {
+        obs::set_enabled(true);
+        rate_on = std::max(
+            rate_on, measure_identify_rate(wimi, unknown, kIterations));
+        obs::set_enabled(false);
+        rate_off = std::max(
+            rate_off, measure_identify_rate(wimi, unknown, kIterations));
+    }
+    obs::set_enabled(true);
+
+    const double overhead_percent =
+        (rate_off - rate_on) / rate_off * 100.0;
+#if defined(WIMI_OBS_DISABLED)
+    const bool compiled_in = false;
+#else
+    const bool compiled_in = true;
+#endif
+
+    std::cout << "\n--- observability overhead (end-to-end identify) ---\n"
+              << "obs compiled in:   "
+              << (compiled_in ? "yes" : "no (WIMI_OBS_DISABLED)") << '\n'
+              << "identify/s, obs on:  " << rate_on << '\n'
+              << "identify/s, obs off: " << rate_off << '\n'
+              << "overhead:            " << overhead_percent << " %"
+              << (overhead_percent <= 5.0 ? "  (within 5% budget)"
+                                          : "  (OVER 5% budget)")
+              << '\n';
+
+    std::FILE* out = std::fopen(report_path, "w");
+    if (out != nullptr) {
+        std::fprintf(out,
+                     "{\"schema\":\"wimi.bench_pipeline.v1\","
+                     "\"obs_compiled_in\":%s,"
+                     "\"identify_per_s_obs_on\":%.3f,"
+                     "\"identify_per_s_obs_off\":%.3f,"
+                     "\"overhead_percent\":%.3f}\n",
+                     compiled_in ? "true" : "false", rate_on, rate_off,
+                     overhead_percent);
+        std::fclose(out);
+        std::cout << "report:              " << report_path << '\n';
+    } else {
+        std::cerr << "warning: could not write " << report_path << '\n';
+    }
+    return overhead_percent;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    run_obs_overhead_comparison("BENCH_pipeline.json");
+    return 0;
+}

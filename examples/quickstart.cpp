@@ -6,16 +6,43 @@
 //   3. enroll five liquids from repeated baseline/target captures,
 //   4. train the SVM,
 //   5. identify fresh, unseen measurements.
+//
+// With --metrics-out <path> the run's metrics registry is written as
+// JSON on exit; --trace-out <path> additionally exports the Chrome
+// trace of every pipeline stage span.
 #include <iostream>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "core/wimi.hpp"
+#include "obs/obs.hpp"
 #include "rf/material.hpp"
 #include "sim/scenario.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace wimi;
+
+    std::string metrics_out;
+    std::string trace_out;
+    if ((argc - 1) % 2 != 0) {  // a flag is missing its value
+        std::cerr << "usage: quickstart [--metrics-out metrics.json]"
+                  << " [--trace-out trace.json]\n";
+        return 2;
+    }
+    for (int i = 1; i + 1 < argc; i += 2) {
+        const std::string_view flag = argv[i];
+        if (flag == "--metrics-out") {
+            metrics_out = argv[i + 1];
+        } else if (flag == "--trace-out") {
+            trace_out = argv[i + 1];
+        } else {
+            std::cerr << "usage: quickstart [--metrics-out metrics.json]"
+                      << " [--trace-out trace.json]\n";
+            return 2;
+        }
+    }
 
     // 1. The deployment: lab environment, 2 m link, 14.3 cm plastic beaker.
     sim::ScenarioConfig setup;
@@ -75,5 +102,14 @@ int main() {
     }
     std::cout << "\nAccuracy on unseen samples: " << correct << "/" << total
               << '\n';
+
+    if (!metrics_out.empty()) {
+        obs::write_metrics_json(metrics_out);
+        std::cout << "Metrics written to " << metrics_out << '\n';
+    }
+    if (!trace_out.empty()) {
+        obs::write_chrome_trace(trace_out);
+        std::cout << "Chrome trace written to " << trace_out << '\n';
+    }
     return 0;
 }

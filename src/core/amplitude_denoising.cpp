@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "dsp/stats.hpp"
+#include "obs/obs.hpp"
 
 namespace wimi::core {
 namespace {
@@ -30,11 +31,32 @@ std::vector<double> denoise_amplitude_series(
     std::span<const double> amplitudes,
     const AmplitudeDenoiseConfig& config) {
     ensure(!amplitudes.empty(), "denoise_amplitude_series: empty input");
+    if (WIMI_OBS_ENABLED()) {
+        WIMI_OBS_COUNT(
+            "denoise.outliers_clipped",
+            dsp::sigma_outlier_indices(amplitudes, config.outlier_k_sigma)
+                .size());
+    }
     auto cleaned =
         dsp::reject_sigma_outliers(amplitudes, config.outlier_k_sigma);
     if (config.remove_impulses &&
         cleaned.size() >= 8) {  // wavelet stage needs a minimum length
-        cleaned = dsp::wavelet_correlation_denoise(cleaned, config.wavelet);
+        if (WIMI_OBS_ENABLED()) {
+            dsp::WaveletDenoiseReport report;
+            cleaned = dsp::wavelet_correlation_denoise(cleaned,
+                                                       config.wavelet,
+                                                       &report);
+            std::size_t iterations = 0;
+            for (const std::size_t per_scale :
+                 report.iterations_per_scale) {
+                iterations += per_scale;
+            }
+            WIMI_OBS_HISTOGRAM("denoise.wavelet.iterations",
+                               static_cast<double>(iterations));
+        } else {
+            cleaned =
+                dsp::wavelet_correlation_denoise(cleaned, config.wavelet);
+        }
         // Amplitudes are physically positive; the wavelet reconstruction
         // may undershoot after removing a large negative impulse, so floor
         // the output at a small fraction of the series median.
@@ -88,6 +110,11 @@ std::vector<bool> inlier_packet_mask(const csi::CsiSeries& series,
              dsp::sigma_outlier_indices(amplitudes, k_sigma)) {
             mask[i] = false;
         }
+    }
+    if (WIMI_OBS_ENABLED()) {
+        const auto masked = static_cast<std::uint64_t>(
+            std::count(mask.begin(), mask.end(), false));
+        WIMI_OBS_COUNT("denoise.outliers_clipped", masked);
     }
     return mask;
 }

@@ -7,6 +7,7 @@
 #include "common/math.hpp"
 #include "dsp/circular.hpp"
 #include "dsp/stats.hpp"
+#include "obs/obs.hpp"
 
 namespace wimi::core {
 namespace {
@@ -170,6 +171,9 @@ MaterialMeasurement raw_measurement(const csi::CsiSeries& baseline,
 /// negative in the exp(-j beta d) phase convention this codebase uses).
 void finish_measurement(MaterialMeasurement& m, int gamma,
                         const FeatureConfig& config) {
+    if (gamma != 0) {
+        WIMI_OBS_COUNT("feature.phase_unwrap_corrections", 1);
+    }
     m.gamma = gamma;
     const double denom =
         m.delta_theta_rad + 2.0 * kPi * static_cast<double>(gamma);
@@ -258,6 +262,8 @@ std::vector<double> extract_feature_vector(
     ensure(!pairs.empty(), "extract_feature_vector: need >= 1 antenna pair");
     ensure(!subcarriers.empty(),
            "extract_feature_vector: need >= 1 subcarrier");
+    WIMI_TRACE_SPAN("feature.extract");
+    WIMI_OBS_COUNT("feature.vectors_extracted", 1);
     std::vector<double> features;
     features.reserve(pairs.size() * subcarriers.size());
     for (const std::size_t sc : subcarriers) {

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/math.hpp"
 #include "dsp/circular.hpp"
+#include "obs/obs.hpp"
 
 namespace wimi::core {
 
@@ -59,6 +60,7 @@ double phase_difference_variance(const csi::CsiSeries& series,
 PhaseCalibrationStats phase_calibration_stats(const csi::CsiSeries& series,
                                               AntennaPair pair,
                                               std::size_t subcarrier) {
+    WIMI_TRACE_SPAN("calib.phase_stats");
     PhaseCalibrationStats stats;
     const auto raw = series.phase_series(pair.first, subcarrier);
     stats.raw_spread_deg = dsp::angular_spread_deg(raw);
@@ -67,6 +69,10 @@ PhaseCalibrationStats phase_calibration_stats(const csi::CsiSeries& series,
     stats.diff_mean_rad = dsp::circular_mean(diffs);
     stats.diff_variance =
         phase_difference_variance(series, pair, subcarrier);
+    // Fig. 12 diagnostic: how much differencing tightened the phase.
+    WIMI_OBS_HISTOGRAM("calib.phase.raw_spread_deg", stats.raw_spread_deg);
+    WIMI_OBS_HISTOGRAM("calib.phase.diff_spread_deg",
+                       stats.diff_spread_deg);
     return stats;
 }
 

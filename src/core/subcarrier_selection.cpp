@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace wimi::core {
 
@@ -15,6 +16,8 @@ std::vector<double> subcarrier_variances(const csi::CsiSeries& series,
     variances.reserve(n_sc);
     for (std::size_t k = 0; k < n_sc; ++k) {
         variances.push_back(phase_difference_variance(series, pair, k));
+        // Fig. 6 diagnostic: the Eq. 7 variance landscape.
+        WIMI_OBS_HISTOGRAM("calib.subcarrier.variance", variances.back());
     }
     return variances;
 }
@@ -37,8 +40,12 @@ std::vector<std::size_t> select_good_subcarriers(
 std::vector<std::size_t> select_good_subcarriers(const csi::CsiSeries& series,
                                                  AntennaPair pair,
                                                  std::size_t count) {
-    return select_good_subcarriers(subcarrier_variances(series, pair),
-                                   count);
+    WIMI_TRACE_SPAN("calib.subcarrier_selection");
+    const auto variances = subcarrier_variances(series, pair);
+    auto selected = select_good_subcarriers(variances, count);
+    WIMI_OBS_COUNT("calib.subcarriers_rejected",
+                   variances.size() - selected.size());
+    return selected;
 }
 
 }  // namespace wimi::core

@@ -4,6 +4,7 @@
 #include "core/antenna_selection.hpp"
 #include "core/subcarrier_selection.hpp"
 #include "ml/knn.hpp"
+#include "obs/obs.hpp"
 
 namespace wimi::core {
 
@@ -21,6 +22,7 @@ Wimi::Wimi(WimiConfig config)
 
 void Wimi::calibrate(const csi::CsiSeries& reference) {
     ensure(!reference.empty(), "Wimi::calibrate: empty reference capture");
+    WIMI_TRACE_SPAN("wimi.calibrate");
     if (config_.auto_select_pair) {
         pairs_ = {select_best_pair(reference)};
     }
@@ -34,6 +36,8 @@ void Wimi::calibrate(const csi::CsiSeries& reference) {
     } else {
         subcarriers_ = config_.subcarriers;
     }
+    WIMI_OBS_GAUGE_SET("calib.subcarriers_selected",
+                       static_cast<double>(subcarriers_.size()));
 }
 
 std::vector<double> Wimi::features(const csi::CsiSeries& baseline,
@@ -48,6 +52,8 @@ std::vector<double> Wimi::features(const csi::CsiSeries& baseline,
 int Wimi::enroll(std::string_view material_name,
                  const csi::CsiSeries& baseline,
                  const csi::CsiSeries& target) {
+    WIMI_TRACE_SPAN("wimi.enroll");
+    WIMI_OBS_COUNT("wimi.enrollments", 1);
     const int id = database_.register_material(material_name);
     database_.add_sample(id, features(baseline, target));
     trained_ = false;
@@ -76,6 +82,7 @@ double Wimi::train_tuned(const ml::GridSearchConfig& search) {
 void Wimi::train() {
     ensure(database_.material_count() >= 2,
            "Wimi::train: need at least two enrolled materials");
+    WIMI_TRACE_SPAN("wimi.train");
     ensure(database_.sample_count() >= database_.material_count(),
            "Wimi::train: need at least one sample per material");
     scaler_.fit(database_.dataset());
@@ -94,6 +101,8 @@ void Wimi::train() {
 IdentificationResult Wimi::identify_features(
     std::span<const double> features) const {
     ensure(trained_, "Wimi::identify: train() not called");
+    WIMI_TRACE_SPAN("wimi.classify");
+    WIMI_OBS_COUNT("wimi.identifications", 1);
     const auto scaled = scaler_.transform(features);
     IdentificationResult result;
     result.features.assign(features.begin(), features.end());
@@ -111,6 +120,7 @@ IdentificationResult Wimi::identify_features(
 
 IdentificationResult Wimi::identify(const csi::CsiSeries& baseline,
                                     const csi::CsiSeries& target) const {
+    WIMI_TRACE_SPAN("wimi.identify");
     return identify_features(features(baseline, target));
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "csi/quantizer.hpp"
+#include "obs/obs.hpp"
 
 namespace wimi::csi {
 namespace {
@@ -43,6 +44,7 @@ std::span<const int> CaptureSimulator::subcarrier_offsets() const {
 CsiSeries CaptureSimulator::capture(
     const std::optional<rf::TargetScene>& scene, std::size_t packet_count) {
     ensure(packet_count >= 1, "CaptureSimulator: need at least one packet");
+    WIMI_TRACE_SPAN("csi.capture");
 
     const rf::TargetScene* scene_ptr = scene ? &*scene : nullptr;
     const std::size_t n_ant = channel_.antenna_count();
@@ -76,6 +78,16 @@ CsiSeries CaptureSimulator::capture(
             frame = quantization_roundtrip(frame);
         }
         series.frames.push_back(std::move(frame));
+    }
+    WIMI_OBS_COUNT("csi.captures", 1);
+    WIMI_OBS_COUNT("csi.packets_captured", packet_count);
+    if (WIMI_OBS_ENABLED()) {
+        double mean_rssi = 0.0;
+        for (const CsiFrame& frame : series.frames) {
+            mean_rssi += frame.rssi_dbm;
+        }
+        WIMI_OBS_GAUGE_SET("csi.capture.mean_rssi_dbm",
+                           mean_rssi / static_cast<double>(packet_count));
     }
     return series;
 }

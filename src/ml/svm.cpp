@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/obs.hpp"
 
 namespace wimi::ml {
 namespace {
@@ -95,9 +96,10 @@ void BinarySvm::train(std::span<const double> features, std::size_t width,
 
     Rng rng(config_.seed);
     std::size_t quiet_passes = 0;
+    std::size_t passes_run = 0;
     for (std::size_t pass = 0;
          pass < config_.max_passes && quiet_passes < config_.convergence_passes;
-         ++pass) {
+         ++pass, ++passes_run) {
         std::size_t changed = 0;
         for (std::size_t i = 0; i < n; ++i) {
             const double yi = static_cast<double>(labels[i]);
@@ -161,6 +163,9 @@ void BinarySvm::train(std::span<const double> features, std::size_t width,
         }
         quiet_passes = (changed == 0) ? quiet_passes + 1 : 0;
     }
+    WIMI_OBS_COUNT("svm.smo_passes", passes_run);
+    WIMI_OBS_HISTOGRAM("svm.train.passes",
+                       static_cast<double>(passes_run));
 
     // Keep only support vectors.
     width_ = width;
@@ -175,6 +180,8 @@ void BinarySvm::train(std::span<const double> features, std::size_t width,
         }
     }
     bias_ = b;
+    WIMI_OBS_HISTOGRAM("svm.train.support_vectors",
+                       static_cast<double>(alphas_.size()));
 }
 
 double BinarySvm::decision(std::span<const double> x) const {
@@ -197,6 +204,7 @@ MulticlassSvm::MulticlassSvm(const SvmConfig& config) : config_(config) {}
 
 void MulticlassSvm::train(const Dataset& data) {
     ensure(!data.empty(), "MulticlassSvm::train: empty dataset");
+    WIMI_TRACE_SPAN("svm.train");
     classes_ = data.distinct_labels();
     ensure(classes_.size() >= 2,
            "MulticlassSvm::train: need at least 2 classes");

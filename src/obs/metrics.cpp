@@ -1,0 +1,219 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace wimi::obs {
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+void atomic_add(std::atomic<double>& a, double delta) noexcept {
+    double expected = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(expected, expected + delta,
+                                    std::memory_order_relaxed)) {
+    }
+}
+
+void atomic_min(std::atomic<double>& a, double value) noexcept {
+    double expected = a.load(std::memory_order_relaxed);
+    while (value < expected &&
+           !a.compare_exchange_weak(expected, value,
+                                    std::memory_order_relaxed)) {
+    }
+}
+
+void atomic_max(std::atomic<double>& a, double value) noexcept {
+    double expected = a.load(std::memory_order_relaxed);
+    while (value > expected &&
+           !a.compare_exchange_weak(expected, value,
+                                    std::memory_order_relaxed)) {
+    }
+}
+
+}  // namespace
+
+std::vector<double> Histogram::default_bucket_edges() {
+    // 3 edges per decade over [1e-9, 1e9): 1, 2.15, 4.64 mantissas.
+    std::vector<double> edges;
+    edges.reserve(18 * 3);
+    for (int decade = -9; decade < 9; ++decade) {
+        const double base = std::pow(10.0, decade);
+        for (const double mantissa : {1.0, 2.1544346900318838,
+                                      4.6415888336127775}) {
+            edges.push_back(base * mantissa);
+        }
+    }
+    return edges;
+}
+
+Histogram::Histogram(std::vector<double> upper_edges)
+    : edges_(std::move(upper_edges)),
+      buckets_(new std::atomic<std::uint64_t>[edges_.size() + 1]) {
+    std::sort(edges_.begin(), edges_.end());
+    for (std::size_t i = 0; i <= edges_.size(); ++i) {
+        buckets_[i].store(0, std::memory_order_relaxed);
+    }
+    min_.store(std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+    max_.store(-std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+}
+
+void Histogram::record(double value) noexcept {
+    const auto it =
+        std::lower_bound(edges_.begin(), edges_.end(), value);
+    const std::size_t bucket =
+        static_cast<std::size_t>(it - edges_.begin());
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    atomic_min(min_, value);
+    atomic_max(max_, value);
+    atomic_add(sum_, value);
+    count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSummary Histogram::summary() const {
+    HistogramSummary s;
+    s.count = count_.load(std::memory_order_relaxed);
+    if (s.count == 0) {
+        return s;
+    }
+    s.sum = atomic_load(sum_);
+    s.min = atomic_load(min_);
+    s.max = atomic_load(max_);
+    s.mean = s.sum / static_cast<double>(s.count);
+
+    // Percentile from the cumulative bucket distribution, interpolating
+    // linearly within the winning bucket and clamping to [min, max].
+    const auto percentile = [&](double q) {
+        const double target = q * static_cast<double>(s.count);
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b <= edges_.size(); ++b) {
+            const std::uint64_t in_bucket =
+                buckets_[b].load(std::memory_order_relaxed);
+            if (in_bucket == 0) {
+                continue;
+            }
+            if (static_cast<double>(cumulative + in_bucket) >= target) {
+                const double lower =
+                    (b == 0) ? s.min : edges_[b - 1];
+                const double upper =
+                    (b == edges_.size()) ? s.max : edges_[b];
+                const double fraction =
+                    (target - static_cast<double>(cumulative)) /
+                    static_cast<double>(in_bucket);
+                const double value = lower + (upper - lower) * fraction;
+                return std::clamp(value, s.min, s.max);
+            }
+            cumulative += in_bucket;
+        }
+        return s.max;
+    };
+    s.p50 = percentile(0.50);
+    s.p95 = percentile(0.95);
+    s.p99 = percentile(0.99);
+    return s;
+}
+
+void Histogram::reset() noexcept {
+    for (std::size_t i = 0; i <= edges_.size(); ++i) {
+        buckets_[i].store(0, std::memory_order_relaxed);
+    }
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+    min_.store(std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+    max_.store(-std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) {
+        return *it->second;
+    }
+    return *counters_.emplace(std::string(name),
+                              std::make_unique<Counter>())
+                .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = gauges_.find(name);
+    if (it != gauges_.end()) {
+        return *it->second;
+    }
+    return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+                .first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+    return histogram(name, Histogram::default_bucket_edges());
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_edges) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) {
+        return *it->second;
+    }
+    return *histograms_
+                .emplace(std::string(name),
+                         std::make_unique<Histogram>(
+                             std::move(upper_edges)))
+                .first->second;
+}
+
+std::size_t MetricsRegistry::size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void MetricsRegistry::reset() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, c] : counters_) {
+        c->reset();
+    }
+    for (auto& [name, g] : gauges_) {
+        g->reset();
+    }
+    for (auto& [name, h] : histograms_) {
+        h->reset();
+    }
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) {
+        snap.counters.emplace_back(name, c->value());
+    }
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) {
+        snap.gauges.emplace_back(name, g->value());
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+        snap.histograms.emplace_back(name, h->summary());
+    }
+    return snap;
+}
+
+MetricsRegistry& registry() {
+    static MetricsRegistry instance;
+    return instance;
+}
+
+bool enabled() noexcept {
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+}  // namespace wimi::obs

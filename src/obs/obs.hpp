@@ -1,0 +1,72 @@
+// Observability entry point: include this and use the WIMI_OBS_* macros.
+//
+// All pipeline instrumentation routes through these macros so one
+// compile-time switch controls everything:
+//
+//   WIMI_TRACE_SPAN("wimi.identify");          // RAII stage span
+//   WIMI_OBS_COUNT("csi.packets_captured", n); // counter += n
+//   WIMI_OBS_GAUGE_SET("calib.subcarriers_selected", count);
+//   WIMI_OBS_HISTOGRAM("svm.train.passes", passes);
+//
+// Building with -DWIMI_OBS_DISABLED (CMake: -DWIMI_ENABLE_OBS=OFF)
+// compiles every macro to nothing — the value expressions are referenced
+// in an unevaluated sizeof so variables computed for metrics do not draw
+// unused warnings, but no code runs. With observability compiled in,
+// obs::set_enabled(false) is the runtime kill-switch: each site then
+// costs one relaxed atomic load.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+#define WIMI_OBS_CONCAT_IMPL_(a, b) a##b
+#define WIMI_OBS_CONCAT_(a, b) WIMI_OBS_CONCAT_IMPL_(a, b)
+
+#if defined(WIMI_OBS_DISABLED)
+
+// Unevaluated: marks the operands as used without generating code.
+#define WIMI_OBS_VOID_(expr) \
+    static_cast<void>(sizeof(((void)(expr), 0)))
+
+// Guard for instrumentation-only computation: `if (WIMI_OBS_ENABLED())`
+// blocks fold to dead code when observability is compiled out.
+#define WIMI_OBS_ENABLED() false
+
+#define WIMI_TRACE_SPAN(name) WIMI_OBS_VOID_(name)
+#define WIMI_OBS_COUNT(name, n) \
+    static_cast<void>(sizeof(((void)(name), (void)(n), 0)))
+#define WIMI_OBS_GAUGE_SET(name, value) \
+    static_cast<void>(sizeof(((void)(name), (void)(value), 0)))
+#define WIMI_OBS_HISTOGRAM(name, value) \
+    static_cast<void>(sizeof(((void)(name), (void)(value), 0)))
+
+#else
+
+#define WIMI_OBS_ENABLED() (::wimi::obs::enabled())
+
+#define WIMI_TRACE_SPAN(name) \
+    ::wimi::obs::TraceSpan WIMI_OBS_CONCAT_(wimi_obs_span_, __LINE__)(name)
+
+#define WIMI_OBS_COUNT(name, n)                               \
+    do {                                                      \
+        if (::wimi::obs::enabled()) {                         \
+            ::wimi::obs::registry().counter(name).add(n);     \
+        }                                                     \
+    } while (0)
+
+#define WIMI_OBS_GAUGE_SET(name, value)                       \
+    do {                                                      \
+        if (::wimi::obs::enabled()) {                         \
+            ::wimi::obs::registry().gauge(name).set(value);   \
+        }                                                     \
+    } while (0)
+
+#define WIMI_OBS_HISTOGRAM(name, value)                            \
+    do {                                                           \
+        if (::wimi::obs::enabled()) {                              \
+            ::wimi::obs::registry().histogram(name).record(value); \
+        }                                                          \
+    } while (0)
+
+#endif  // WIMI_OBS_DISABLED

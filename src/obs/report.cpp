@@ -1,0 +1,78 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace wimi::obs {
+namespace {
+
+void append_member(std::string& out, bool& first, std::string_view name,
+                   const std::string& value_json) {
+    if (!first) {
+        out += ',';
+    }
+    first = false;
+    out += '"';
+    out += json::escape(name);
+    out += "\":";
+    out += value_json;
+}
+
+std::string summary_json(const HistogramSummary& s) {
+    std::string out = "{\"count\":";
+    out += std::to_string(s.count);
+    out += ",\"sum\":" + json::number(s.sum);
+    out += ",\"min\":" + json::number(s.min);
+    out += ",\"max\":" + json::number(s.max);
+    out += ",\"mean\":" + json::number(s.mean);
+    out += ",\"p50\":" + json::number(s.p50);
+    out += ",\"p95\":" + json::number(s.p95);
+    out += ",\"p99\":" + json::number(s.p99);
+    out += '}';
+    return out;
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ensure(out.good(), "obs: cannot open output file " + path);
+    out << text;
+    out.flush();
+    ensure(out.good(), "obs: failed writing " + path);
+}
+
+}  // namespace
+
+std::string metrics_to_json(const MetricsRegistry& reg) {
+    const MetricsRegistry::Snapshot snap = reg.snapshot();
+    std::string out = "{\"schema\":\"wimi.metrics.v1\",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, value] : snap.counters) {
+        append_member(out, first, name, std::to_string(value));
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, value] : snap.gauges) {
+        append_member(out, first, name, json::number(value));
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, summary] : snap.histograms) {
+        append_member(out, first, name, summary_json(summary));
+    }
+    out += "}}";
+    return out;
+}
+
+void write_metrics_json(const std::string& path,
+                        const MetricsRegistry& reg) {
+    write_text_file(path, metrics_to_json(reg));
+}
+
+void write_chrome_trace(const std::string& path) {
+    write_text_file(path, trace_to_json());
+}
+
+}  // namespace wimi::obs

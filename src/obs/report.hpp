@@ -1,0 +1,33 @@
+// Machine-readable run reports.
+//
+// Serializes a MetricsRegistry snapshot to the `wimi.metrics.v1` JSON
+// document and writes trace/metrics files for the --metrics-out /
+// --trace-out flags on examples and tools. Benches and CI diff these
+// documents across commits to track quality and performance trajectories.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace wimi::obs {
+
+/// The `wimi.metrics.v1` document for one registry snapshot:
+///
+///   {"schema":"wimi.metrics.v1",
+///    "counters":{"csi.packets_captured":4000,...},
+///    "gauges":{"calib.subcarriers_selected":4,...},
+///    "histograms":{"svm.train.support_vectors":
+///        {"count":45,"sum":...,"min":...,"max":...,"mean":...,
+///         "p50":...,"p95":...,"p99":...},...}}
+std::string metrics_to_json(const MetricsRegistry& reg = registry());
+
+/// Writes metrics_to_json(reg) to `path`. Throws wimi::Error on I/O
+/// failure.
+void write_metrics_json(const std::string& path,
+                        const MetricsRegistry& reg = registry());
+
+/// Writes trace_to_json() to `path`. Throws wimi::Error on I/O failure.
+void write_chrome_trace(const std::string& path);
+
+}  // namespace wimi::obs

@@ -1,0 +1,194 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "obs/json.hpp"
+
+namespace wimi::obs {
+namespace {
+
+constexpr std::size_t kRingCapacity = 16384;
+
+std::chrono::steady_clock::time_point trace_epoch() {
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+double to_us(std::chrono::steady_clock::time_point t) {
+    return std::chrono::duration<double, std::micro>(t - trace_epoch())
+        .count();
+}
+
+struct ThreadBuffer;
+
+/// Global rendezvous of all thread buffers. Spans from threads that have
+/// exited are preserved in `retired`.
+struct Collector {
+    std::mutex mutex;
+    std::vector<ThreadBuffer*> live;
+    std::vector<TraceEvent> retired;
+    std::uint32_t next_tid = 1;
+};
+
+Collector& collector() {
+    static Collector* instance = new Collector;  // leaked: outlives
+                                                 // thread-exit flushes
+    return *instance;
+}
+
+struct ThreadBuffer {
+    std::mutex mutex;  // uncontended except during snapshot
+    std::vector<TraceEvent> ring;
+    std::size_t head = 0;
+    bool wrapped = false;
+    std::uint32_t tid = 0;
+    std::uint32_t depth = 0;
+
+    ThreadBuffer() {
+        ring.reserve(kRingCapacity);
+        Collector& c = collector();
+        const std::lock_guard<std::mutex> lock(c.mutex);
+        tid = c.next_tid++;
+        c.live.push_back(this);
+    }
+
+    ~ThreadBuffer() {
+        Collector& c = collector();
+        const std::lock_guard<std::mutex> lock(c.mutex);
+        auto events = ordered_events();
+        c.retired.insert(c.retired.end(),
+                         std::make_move_iterator(events.begin()),
+                         std::make_move_iterator(events.end()));
+        c.live.erase(std::remove(c.live.begin(), c.live.end(), this),
+                     c.live.end());
+    }
+
+    void push(TraceEvent event) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (ring.size() < kRingCapacity) {
+            ring.push_back(std::move(event));
+        } else {
+            ring[head] = std::move(event);
+            head = (head + 1) % kRingCapacity;
+            wrapped = true;
+        }
+    }
+
+    /// Ring contents oldest-first. Caller holds no lock; takes `mutex`.
+    std::vector<TraceEvent> ordered_events() {
+        const std::lock_guard<std::mutex> lock(mutex);
+        std::vector<TraceEvent> out;
+        out.reserve(ring.size());
+        if (wrapped) {
+            out.insert(out.end(), ring.begin() + static_cast<long>(head),
+                       ring.end());
+            out.insert(out.end(), ring.begin(),
+                       ring.begin() + static_cast<long>(head));
+        } else {
+            out = ring;
+        }
+        return out;
+    }
+
+    void clear() {
+        const std::lock_guard<std::mutex> lock(mutex);
+        ring.clear();
+        head = 0;
+        wrapped = false;
+    }
+};
+
+ThreadBuffer& thread_buffer() {
+    static thread_local ThreadBuffer buffer;
+    return buffer;
+}
+
+}  // namespace
+
+TraceSpan::TraceSpan(const char* name) noexcept
+    : name_(name), active_(enabled()) {
+    if (active_) {
+        ++thread_buffer().depth;
+        start_ = std::chrono::steady_clock::now();
+    }
+}
+
+TraceSpan::~TraceSpan() {
+    if (!active_) {
+        return;
+    }
+    const auto end = std::chrono::steady_clock::now();
+    ThreadBuffer& buffer = thread_buffer();
+    --buffer.depth;
+    TraceEvent event;
+    event.name = name_;
+    event.ts_us = to_us(start_);
+    event.dur_us =
+        std::chrono::duration<double, std::micro>(end - start_).count();
+    event.tid = buffer.tid;
+    event.depth = buffer.depth;
+    buffer.push(std::move(event));
+}
+
+std::size_t trace_ring_capacity() noexcept {
+    return kRingCapacity;
+}
+
+std::vector<TraceEvent> trace_snapshot() {
+    Collector& c = collector();
+    std::vector<TraceEvent> all;
+    {
+        const std::lock_guard<std::mutex> lock(c.mutex);
+        all = c.retired;
+        for (ThreadBuffer* buffer : c.live) {
+            auto events = buffer->ordered_events();
+            all.insert(all.end(),
+                       std::make_move_iterator(events.begin()),
+                       std::make_move_iterator(events.end()));
+        }
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                         return a.ts_us < b.ts_us;
+                     });
+    return all;
+}
+
+void trace_reset() {
+    Collector& c = collector();
+    const std::lock_guard<std::mutex> lock(c.mutex);
+    c.retired.clear();
+    for (ThreadBuffer* buffer : c.live) {
+        buffer->clear();
+    }
+}
+
+std::string trace_to_json() {
+    const auto events = trace_snapshot();
+    std::string out;
+    out.reserve(events.size() * 96 + 64);
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent& e : events) {
+        if (!first) {
+            out += ',';
+        }
+        first = false;
+        out += "{\"name\":\"";
+        out += json::escape(e.name);
+        out += "\",\"cat\":\"wimi\",\"ph\":\"X\",\"ts\":";
+        out += json::number(e.ts_us);
+        out += ",\"dur\":";
+        out += json::number(e.dur_us);
+        out += ",\"pid\":1,\"tid\":";
+        out += std::to_string(e.tid);
+        out += ",\"args\":{\"depth\":";
+        out += std::to_string(e.depth);
+        out += "}}";
+    }
+    out += "]}";
+    return out;
+}
+
+}  // namespace wimi::obs

@@ -1,0 +1,87 @@
+// Stage tracing: RAII spans recorded into per-thread ring buffers and
+// exported as Chrome trace_event JSON.
+//
+// A TraceSpan marks one pipeline stage (capture, calibration, feature
+// extraction, SVM training, ...). Each thread appends finished spans to
+// its own fixed-capacity ring buffer — no cross-thread contention on the
+// hot path beyond one uncontended mutex — and trace_to_json() merges all
+// buffers into a single document loadable in chrome://tracing or Perfetto
+// ("Complete" events, ph = "X", nested by timestamp containment).
+//
+// Prefer the WIMI_TRACE_SPAN macro in obs/obs.hpp: it honors the runtime
+// kill-switch and compiles out under WIMI_OBS_DISABLED.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace wimi::obs {
+
+/// One finished span.
+struct TraceEvent {
+    std::string name;
+    double ts_us = 0.0;     ///< start, microseconds since trace epoch
+    double dur_us = 0.0;    ///< duration, microseconds
+    std::uint32_t tid = 0;  ///< stable per-thread id (1-based)
+    std::uint32_t depth = 0;  ///< nesting depth at entry (0 = outermost)
+};
+
+/// RAII span: times the enclosing scope and records a TraceEvent on
+/// destruction. `name` must outlive the span (string literals in
+/// practice).
+class TraceSpan {
+public:
+    explicit TraceSpan(const char* name) noexcept;
+    ~TraceSpan();
+
+    TraceSpan(const TraceSpan&) = delete;
+    TraceSpan& operator=(const TraceSpan&) = delete;
+
+private:
+    const char* name_;
+    std::chrono::steady_clock::time_point start_;
+    bool active_;
+};
+
+/// RAII timer recording elapsed microseconds into `sink` on destruction;
+/// for hot paths that want a duration histogram without a trace event.
+class ScopedTimer {
+public:
+    explicit ScopedTimer(Histogram& sink) noexcept
+        : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+
+    ~ScopedTimer() {
+        const auto elapsed = std::chrono::steady_clock::now() - start_;
+        sink_.record(
+            std::chrono::duration<double, std::micro>(elapsed).count());
+    }
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+private:
+    Histogram& sink_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// Per-thread ring capacity: once a thread has this many finished spans,
+/// the oldest are overwritten.
+std::size_t trace_ring_capacity() noexcept;
+
+/// All finished spans from every thread (live and exited), sorted by
+/// start time.
+std::vector<TraceEvent> trace_snapshot();
+
+/// Drops all recorded spans (live rings and retired threads).
+void trace_reset();
+
+/// Chrome trace_event JSON of trace_snapshot() — load in chrome://tracing
+/// or https://ui.perfetto.dev.
+std::string trace_to_json();
+
+}  // namespace wimi::obs

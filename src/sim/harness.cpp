@@ -2,9 +2,12 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "dsp/stats.hpp"
 #include "ml/knn.hpp"
 #include "ml/scaler.hpp"
 #include "ml/svm.hpp"
+#include "obs/obs.hpp"
+#include "rf/environment.hpp"
 
 namespace wimi::sim {
 namespace {
@@ -42,6 +45,25 @@ std::vector<int> train_and_predict(const ml::Dataset& train,
     return predictions;
 }
 
+/// Mean per-feature variance of a dataset: the paper's environment
+/// comparison in one number (noisier environments spread the Omega
+/// features further; the library's drop in accuracy shows up here before
+/// it shows up in the confusion matrix).
+double mean_feature_variance(const ml::Dataset& data) {
+    if (data.size() < 2 || data.feature_count() == 0) {
+        return 0.0;
+    }
+    double total = 0.0;
+    for (std::size_t f = 0; f < data.feature_count(); ++f) {
+        dsp::RunningStats stats;
+        for (std::size_t row = 0; row < data.size(); ++row) {
+            stats.add(data.features(row)[f]);
+        }
+        total += stats.variance();
+    }
+    return total / static_cast<double>(data.feature_count());
+}
+
 }  // namespace
 
 core::Wimi make_calibrated_wimi(const ExperimentConfig& config) {
@@ -61,6 +83,7 @@ ml::Dataset build_feature_dataset(const ExperimentConfig& config,
            "build_feature_dataset: no liquids configured");
     ensure(config.repetitions >= 1,
            "build_feature_dataset: repetitions must be >= 1");
+    WIMI_TRACE_SPAN("harness.build_dataset");
 
     const Scenario scenario(config.scenario);
     Rng rng(config.seed);
@@ -80,6 +103,15 @@ ml::Dataset build_feature_dataset(const ExperimentConfig& config,
                      static_cast<int>(li));
         }
     }
+    if (WIMI_OBS_ENABLED()) {
+        // Per-environment feature spread, labeled by the scenario's
+        // environment name (e.g. harness.feature_variance.Library).
+        const std::string gauge_name =
+            std::string("harness.feature_variance.") +
+            std::string(
+                rf::environment_name(config.scenario.environment));
+        WIMI_OBS_GAUGE_SET(gauge_name, mean_feature_variance(data));
+    }
     return data;
 }
 
@@ -87,6 +119,7 @@ ExperimentResult evaluate_dataset(const ml::Dataset& data,
                                   const ExperimentConfig& config,
                                   std::vector<std::string> class_names) {
     ensure(config.cv_folds >= 2, "evaluate_dataset: cv_folds must be >= 2");
+    WIMI_TRACE_SPAN("harness.evaluate");
     Rng rng(config.seed ^ 0xF01D5EEDULL);
     auto confusion = ml::cross_validate(
         data, config.cv_folds, rng,
@@ -103,6 +136,7 @@ ExperimentResult evaluate_dataset(const ml::Dataset& data,
 
 ExperimentResult run_identification_experiment(
     const ExperimentConfig& config) {
+    WIMI_TRACE_SPAN("harness.experiment");
     const core::Wimi wimi = make_calibrated_wimi(config);
     const ml::Dataset data = build_feature_dataset(config, wimi);
 

@@ -1,0 +1,67 @@
+// Tests for the WIMI_OBS_DISABLED compile-out path.
+//
+// This translation unit defines WIMI_OBS_DISABLED *before* including
+// obs/obs.hpp, so every WIMI_OBS_* macro here expands to nothing — the
+// same expansion an entire -DWIMI_ENABLE_OBS=OFF build gets. The linked
+// obs library itself is still the normal build, which lets the test
+// verify that compiled-out macros leave the global registry and trace
+// buffers untouched.
+#define WIMI_OBS_DISABLED 1
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace wimi::obs {
+namespace {
+
+TEST(ObsDisabled, EnabledGuardIsConstantFalse) {
+    set_enabled(true);  // runtime switch is irrelevant once compiled out
+    EXPECT_FALSE(WIMI_OBS_ENABLED());
+    static_assert(!WIMI_OBS_ENABLED(),
+                  "disabled guard must fold at compile time");
+}
+
+TEST(ObsDisabled, MacrosDoNotTouchGlobalState) {
+    set_enabled(true);
+    registry().reset();
+    trace_reset();
+    const std::size_t metrics_before = registry().size();
+
+    {
+        WIMI_TRACE_SPAN("disabled.span");
+        WIMI_OBS_COUNT("disabled.counter", 5);
+        WIMI_OBS_GAUGE_SET("disabled.gauge", 1.25);
+        WIMI_OBS_HISTOGRAM("disabled.histogram", 3.0);
+    }
+
+    EXPECT_EQ(registry().size(), metrics_before);
+    EXPECT_TRUE(trace_snapshot().empty());
+}
+
+TEST(ObsDisabled, MacroArgumentsAreNotEvaluated) {
+    int calls = 0;
+    const auto count_call = [&calls] {
+        ++calls;
+        return 1;
+    };
+    WIMI_OBS_COUNT("disabled.counter", count_call());
+    WIMI_OBS_GAUGE_SET("disabled.gauge", count_call());
+    WIMI_OBS_HISTOGRAM("disabled.histogram", count_call());
+    // The operands sit inside an unevaluated sizeof: referenced (so no
+    // unused warnings) but never executed.
+    EXPECT_EQ(calls, 0);
+    EXPECT_EQ(registry().size(), 0u);
+}
+
+TEST(ObsDisabled, GuardedBlocksFoldAway) {
+    bool executed = false;
+    if (WIMI_OBS_ENABLED()) {
+        executed = true;
+    }
+    EXPECT_FALSE(executed);
+}
+
+}  // namespace
+}  // namespace wimi::obs

@@ -1,0 +1,229 @@
+// Tests for the observability metrics registry (obs/metrics) and its
+// JSON support (obs/json): single-threaded semantics, concurrent updates
+// from many threads, percentile estimation, and parser round-trips.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace wimi::obs {
+namespace {
+
+TEST(ObsMetrics, CounterAddAndReset) {
+    MetricsRegistry reg;
+    Counter& c = reg.counter("events");
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    reg.reset();
+    EXPECT_EQ(c.value(), 0u);  // zeroed in place, reference still valid
+}
+
+TEST(ObsMetrics, RegistryReturnsSameObjectForSameName) {
+    MetricsRegistry reg;
+    Counter& a = reg.counter("x");
+    Counter& b = reg.counter("x");
+    EXPECT_EQ(&a, &b);
+    // Same name, different kinds are distinct metrics.
+    reg.gauge("x");
+    reg.histogram("x");
+    EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(ObsMetrics, GaugeLastWriteWins) {
+    MetricsRegistry reg;
+    Gauge& g = reg.gauge("rssi");
+    g.set(-42.5);
+    g.set(-38.0);
+    EXPECT_DOUBLE_EQ(g.value(), -38.0);
+}
+
+TEST(ObsMetrics, HistogramConstantValueSummary) {
+    Histogram h;
+    for (int i = 0; i < 100; ++i) {
+        h.record(5.0);
+    }
+    const HistogramSummary s = h.summary();
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_DOUBLE_EQ(s.min, 5.0);
+    EXPECT_DOUBLE_EQ(s.max, 5.0);
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    // Percentiles clamp to the observed [min, max], so a constant series
+    // reports exact percentiles regardless of bucket layout.
+    EXPECT_DOUBLE_EQ(s.p50, 5.0);
+    EXPECT_DOUBLE_EQ(s.p95, 5.0);
+    EXPECT_DOUBLE_EQ(s.p99, 5.0);
+}
+
+TEST(ObsMetrics, HistogramPercentilesWithUnitBuckets) {
+    // Unit-width buckets: percentile interpolation is accurate to within
+    // one bucket on a uniform 1..100 series.
+    std::vector<double> edges;
+    for (int e = 1; e <= 100; ++e) {
+        edges.push_back(static_cast<double>(e));
+    }
+    Histogram h(edges);
+    for (int v = 1; v <= 100; ++v) {
+        h.record(static_cast<double>(v));
+    }
+    const HistogramSummary s = h.summary();
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 100.0);
+    EXPECT_NEAR(s.mean, 50.5, 1e-9);
+    EXPECT_NEAR(s.p50, 50.0, 1.0);
+    EXPECT_NEAR(s.p95, 95.0, 1.0);
+    EXPECT_NEAR(s.p99, 99.0, 1.0);
+}
+
+TEST(ObsMetrics, HistogramOverflowBucketUsesMax) {
+    Histogram h({1.0, 2.0});  // values above 2 land in overflow
+    h.record(10.0);
+    h.record(20.0);
+    const HistogramSummary s = h.summary();
+    EXPECT_DOUBLE_EQ(s.max, 20.0);
+    EXPECT_LE(s.p99, 20.0);
+    EXPECT_GE(s.p99, 10.0);
+}
+
+TEST(ObsMetrics, EmptyHistogramSummaryIsZero) {
+    Histogram h;
+    const HistogramSummary s = h.summary();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.sum, 0.0);
+    EXPECT_DOUBLE_EQ(s.min, 0.0);
+    EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(ObsMetrics, ConcurrentCounterUpdates) {
+    MetricsRegistry reg;
+    constexpr int kThreads = 8;
+    constexpr int kIncrements = 20000;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&reg] {
+            // Half the threads cache the reference (the documented hot
+            // path), half look it up every time.
+            Counter& cached = reg.counter("shared");
+            for (int i = 0; i < kIncrements; ++i) {
+                if (i % 2 == 0) {
+                    cached.add();
+                } else {
+                    reg.counter("shared").add();
+                }
+            }
+        });
+    }
+    for (std::thread& w : workers) {
+        w.join();
+    }
+    EXPECT_EQ(reg.counter("shared").value(),
+              static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(ObsMetrics, ConcurrentHistogramUpdates) {
+    MetricsRegistry reg;
+    Histogram& h = reg.histogram("latency");
+    constexpr int kThreads = 4;
+    constexpr int kRecords = 10000;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&h, t] {
+            for (int i = 0; i < kRecords; ++i) {
+                // Every thread covers the same value set so min/max are
+                // deterministic; sum is order-independent for integers.
+                h.record(static_cast<double>(1 + (i + t) % 100));
+            }
+        });
+    }
+    for (std::thread& w : workers) {
+        w.join();
+    }
+    const HistogramSummary s = h.summary();
+    EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kRecords);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 100.0);
+    // Each thread records kRecords/100 copies of each value 1..100.
+    const double expected_sum =
+        static_cast<double>(kThreads) * (kRecords / 100) * 5050.0;
+    EXPECT_DOUBLE_EQ(s.sum, expected_sum);
+}
+
+TEST(ObsMetrics, SnapshotIsSortedByName) {
+    MetricsRegistry reg;
+    reg.counter("b").add(2);
+    reg.counter("a").add(1);
+    reg.gauge("z").set(3.0);
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 2u);
+    EXPECT_EQ(snap.counters[0].first, "a");
+    EXPECT_EQ(snap.counters[1].first, "b");
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    EXPECT_EQ(snap.gauges[0].first, "z");
+}
+
+TEST(ObsMetrics, RuntimeKillSwitchRoundTrips) {
+    EXPECT_TRUE(enabled());  // default on
+    set_enabled(false);
+    EXPECT_FALSE(enabled());
+    set_enabled(true);
+    EXPECT_TRUE(enabled());
+}
+
+// --- obs/json -----------------------------------------------------------
+
+TEST(ObsJson, EscapeControlCharactersAndQuotes) {
+    EXPECT_EQ(json::escape("plain"), "plain");
+    EXPECT_EQ(json::escape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(json::escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+}
+
+TEST(ObsJson, NumberFormatsNonFiniteAsNull) {
+    EXPECT_EQ(json::number(std::nan("")), "null");
+    EXPECT_EQ(json::number(INFINITY), "null");
+    EXPECT_EQ(json::number(1.5), "1.5");
+}
+
+TEST(ObsJson, ParseRoundTripsNestedDocument) {
+    const std::string doc =
+        "{\"name\":\"svm.train\",\"count\":3,\"nested\":"
+        "{\"values\":[1,2.5,-3e2],\"ok\":true,\"missing\":null},"
+        "\"text\":\"a\\\"b\\nc\"}";
+    const json::Value v = json::parse(doc);
+    ASSERT_TRUE(v.is_object());
+    EXPECT_EQ(v.find("name")->string, "svm.train");
+    EXPECT_DOUBLE_EQ(v.find("count")->num, 3.0);
+    const json::Value* nested = v.find("nested");
+    ASSERT_NE(nested, nullptr);
+    const json::Value* values = nested->find("values");
+    ASSERT_TRUE(values->is_array());
+    ASSERT_EQ(values->array.size(), 3u);
+    EXPECT_DOUBLE_EQ(values->array[2].num, -300.0);
+    EXPECT_TRUE(nested->find("ok")->boolean);
+    EXPECT_EQ(nested->find("missing")->kind, json::Value::Kind::kNull);
+    EXPECT_EQ(v.find("text")->string, "a\"b\nc");
+    EXPECT_EQ(v.find("absent"), nullptr);
+}
+
+TEST(ObsJson, ParseRejectsMalformedInput) {
+    EXPECT_THROW(json::parse(""), Error);
+    EXPECT_THROW(json::parse("{"), Error);
+    EXPECT_THROW(json::parse("{\"a\":1,}"), Error);
+    EXPECT_THROW(json::parse("[1,2] trailing"), Error);
+    EXPECT_THROW(json::parse("\"unterminated"), Error);
+}
+
+}  // namespace
+}  // namespace wimi::obs

@@ -9,17 +9,29 @@
 //   csi_trace_tool phase <trace> <sc>      phase-difference stats at a SC
 //   csi_trace_tool generate <trace> [env]  record a simulated capture
 //                                          (env: hall | lab | library)
+//   csi_trace_tool pipeline profile <trace> [--trace-out f] [--metrics-out f]
+//                                          run the pre-processing pipeline
+//                                          on the trace and export a Chrome
+//                                          trace + metrics JSON
+#include <algorithm>
 #include <iostream>
+#include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/table.hpp"
+#include "core/amplitude_denoising.hpp"
+#include "core/material_feature.hpp"
 #include "core/phase_calibration.hpp"
+#include "core/subcarrier_selection.hpp"
+#include "core/wimi.hpp"
 #include "csi/pdp.hpp"
 #include "csi/trace_io.hpp"
 #include "dsp/circular.hpp"
 #include "dsp/stats.hpp"
+#include "obs/obs.hpp"
 #include "sim/scenario.hpp"
 
 namespace {
@@ -35,7 +47,11 @@ int cmd_info(const std::string& path) {
     if (series.empty()) {
         return 0;
     }
-    std::cout << "  duration:    " << series.frames.back().timestamp_s
+    // Span between first and last packet: traces trimmed or merged from
+    // longer captures do not start at t=0.
+    const double duration_s = series.frames.back().timestamp_s -
+                              series.frames.front().timestamp_s;
+    std::cout << "  duration:    " << format_double(duration_s, 3)
               << " s\n\n";
     TextTable table({"antenna", "mean |H|", "amplitude CV", "mean RSSI"});
     for (std::size_t a = 0; a < series.antenna_count(); ++a) {
@@ -128,12 +144,105 @@ int cmd_generate(const std::string& path, const std::string& env_name) {
     return 0;
 }
 
+/// Runs every pre-processing stage of the WiMi pipeline over `path` with
+/// observability on, then exports the run's Chrome trace and metrics
+/// report. The trace doubles as baseline and target (first half vs second
+/// half), so feature extraction exercises the real code path without a
+/// second file.
+int cmd_pipeline_profile(const std::string& path,
+                         const std::string& trace_out,
+                         const std::string& metrics_out) {
+    const auto series = csi::read_trace_file(path);
+    ensure(series.packet_count() >= 16,
+           "pipeline profile: need at least 16 packets");
+    ensure(series.antenna_count() >= 2,
+           "pipeline profile: need at least two antennas");
+
+    obs::set_enabled(true);
+    obs::trace_reset();
+    obs::registry().reset();
+
+    const auto pairs = core::all_antenna_pairs(series.antenna_count());
+    {
+        WIMI_TRACE_SPAN("pipeline.profile");
+
+        // Stage 1 — phase calibration quality (Fig. 12 diagnostics).
+        for (const auto pair : pairs) {
+            core::phase_calibration_stats(series, pair, 0);
+        }
+
+        // Stage 2 — good-subcarrier selection via the facade (Eq. 7 /
+        // Fig. 6): calibrate() records the variance landscape and the
+        // selected-count gauge.
+        core::WimiConfig config;
+        config.pairs = {pairs.begin(), pairs.end()};
+        config.good_subcarrier_count =
+            std::min<std::size_t>(4, series.subcarrier_count());
+        core::Wimi wimi(config);
+        wimi.calibrate(series);
+
+        // Stage 3 — amplitude denoising on the selected subcarriers.
+        {
+            WIMI_TRACE_SPAN("pipeline.denoise");
+            for (const std::size_t sc : wimi.subcarriers()) {
+                core::denoised_amplitude_ratio(series, pairs.front(), sc,
+                                               {});
+            }
+        }
+
+        // Stage 4 — features + SVM + identification. The trace doubles
+        // as its own measurement: first half as baseline, second half as
+        // target, and the reversed pairing as a second pseudo-material so
+        // the SVM has two classes to separate.
+        csi::CsiSeries baseline;
+        csi::CsiSeries target;
+        const std::size_t half = series.packet_count() / 2;
+        baseline.frames.assign(series.frames.begin(),
+                               series.frames.begin() +
+                                   static_cast<long>(half));
+        target.frames.assign(series.frames.begin() +
+                                 static_cast<long>(half),
+                             series.frames.end());
+        wimi.enroll("first-vs-second", baseline, target);
+        wimi.enroll("second-vs-first", target, baseline);
+        wimi.train();
+        wimi.identify(baseline, target);
+    }
+
+    obs::write_chrome_trace(trace_out);
+    obs::write_metrics_json(metrics_out);
+
+    // Per-stage digest of the spans just recorded.
+    struct StageTotals {
+        std::size_t calls = 0;
+        double total_us = 0.0;
+    };
+    std::map<std::string, StageTotals> stages;
+    for (const obs::TraceEvent& event : obs::trace_snapshot()) {
+        StageTotals& totals = stages[event.name];
+        ++totals.calls;
+        totals.total_us += event.dur_us;
+    }
+    TextTable table({"stage", "calls", "total ms"});
+    for (const auto& [name, totals] : stages) {
+        table.add_row({name, std::to_string(totals.calls),
+                       format_double(totals.total_us / 1e3, 3)});
+    }
+    table.print(std::cout);
+    std::cout << "\nChrome trace: " << trace_out << " (load in "
+              << "chrome://tracing or ui.perfetto.dev)\n"
+              << "Metrics:      " << metrics_out << '\n';
+    return 0;
+}
+
 int usage() {
     std::cerr << "usage:\n"
               << "  csi_trace_tool info <trace.wcsi>\n"
               << "  csi_trace_tool pdp <trace.wcsi> [antenna]\n"
               << "  csi_trace_tool phase <trace.wcsi> <subcarrier>\n"
-              << "  csi_trace_tool generate <trace.wcsi> [hall|lab|library]\n";
+              << "  csi_trace_tool generate <trace.wcsi> [hall|lab|library]\n"
+              << "  csi_trace_tool pipeline profile <trace.wcsi>"
+              << " [--trace-out out.json] [--metrics-out out.json]\n";
     return 2;
 }
 
@@ -146,6 +255,29 @@ int main(int argc, char** argv) {
     const std::string_view command = argv[1];
     const std::string path = argv[2];
     try {
+        if (command == "pipeline") {
+            if (argc < 4 || std::string_view(argv[2]) != "profile") {
+                return usage();
+            }
+            const std::string trace_path = argv[3];
+            std::string trace_out = trace_path + ".trace.json";
+            std::string metrics_out = trace_path + ".metrics.json";
+            if ((argc - 4) % 2 != 0) {
+                return usage();  // a flag is missing its value
+            }
+            for (int i = 4; i + 1 < argc; i += 2) {
+                const std::string_view flag = argv[i];
+                if (flag == "--trace-out") {
+                    trace_out = argv[i + 1];
+                } else if (flag == "--metrics-out") {
+                    metrics_out = argv[i + 1];
+                } else {
+                    return usage();
+                }
+            }
+            return cmd_pipeline_profile(trace_path, trace_out,
+                                        metrics_out);
+        }
         if (command == "info") {
             return cmd_info(path);
         }
