@@ -9,19 +9,27 @@
 // one-atomic-load floor a WIMI_OBS_DISABLED build pays at most). The
 // comparison is printed and written to BENCH_pipeline.json so CI can
 // track the perf/quality trajectory.
+//
+// Last, a thread-scaling sweep over the exec layer: dataset build +
+// cross-validated evaluation at 1/2/4/8 threads, with a bit-identity
+// check of every width against the serial run (the exec determinism
+// contract), written to BENCH_parallel.json.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "core/material_feature.hpp"
 #include "core/subcarrier_selection.hpp"
 #include "core/wimi.hpp"
 #include "dsp/wavelet_denoise.hpp"
+#include "exec/parallel.hpp"
 #include "obs/obs.hpp"
+#include "sim/harness.hpp"
 #include "sim/scenario.hpp"
 
 namespace {
@@ -214,6 +222,134 @@ double run_obs_overhead_comparison(const char* report_path) {
     return overhead_percent;
 }
 
+/// True when both experiment results are bit-identical (exact doubles,
+/// exact confusion counts) — the exec determinism contract.
+bool results_identical(const sim::ExperimentResult& a,
+                       const sim::ExperimentResult& b) {
+    if (a.accuracy != b.accuracy || a.mean_recall != b.mean_recall ||
+        a.confusion.labels().size() != b.confusion.labels().size()) {
+        return false;
+    }
+    if (!std::equal(a.confusion.labels().begin(),
+                    a.confusion.labels().end(),
+                    b.confusion.labels().begin())) {
+        return false;
+    }
+    for (const int truth : a.confusion.labels()) {
+        for (const int predicted : a.confusion.labels()) {
+            if (a.confusion.count(truth, predicted) !=
+                b.confusion.count(truth, predicted)) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+/// Thread-scaling sweep over the exec layer's pipeline seams: dataset
+/// build (capture fan-out) + cross-validated evaluation (fold fan-out)
+/// at 1/2/4/8 threads. Every width's result is checked bit-identical to
+/// the serial run. Speedups only materialize with real cores — the sweep
+/// reports hardware_threads so a 1-core CI box is not misread as a
+/// scaling regression.
+void run_parallel_scaling(const char* report_path) {
+    sim::ExperimentConfig config;
+    config.scenario.environment = rf::Environment::kLab;
+    config.liquids = {rf::Liquid::kPureWater, rf::Liquid::kMilk,
+                      rf::Liquid::kPepsi,     rf::Liquid::kHoney,
+                      rf::Liquid::kVinegar,   rf::Liquid::kOil};
+    config.repetitions = 8;
+    config.cv_folds = 4;
+    config.seed = 42;
+
+    std::vector<std::string> class_names;
+    class_names.reserve(config.liquids.size());
+    for (const rf::Liquid liquid : config.liquids) {
+        class_names.emplace_back(rf::liquid_name(liquid));
+    }
+
+    struct Sample {
+        std::size_t threads = 0;
+        double build_s = 0.0;
+        double evaluate_s = 0.0;
+    };
+    const auto seconds_since = [](std::chrono::steady_clock::time_point t0) {
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - t0;
+        return elapsed.count();
+    };
+
+    std::vector<Sample> samples;
+    std::vector<sim::ExperimentResult> results;
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+        exec::set_thread_count(threads);
+        Sample sample;
+        sample.threads = threads;
+        // Calibration is serial and identical across widths; keep it
+        // outside the timed region.
+        const core::Wimi wimi = sim::make_calibrated_wimi(config);
+
+        auto t0 = std::chrono::steady_clock::now();
+        const auto data = sim::build_feature_dataset(config, wimi);
+        sample.build_s = seconds_since(t0);
+
+        t0 = std::chrono::steady_clock::now();
+        results.push_back(sim::evaluate_dataset(data, config, class_names));
+        sample.evaluate_s = seconds_since(t0);
+        samples.push_back(sample);
+    }
+    exec::set_thread_count(0);
+
+    bool bit_identical = true;
+    for (const sim::ExperimentResult& result : results) {
+        bit_identical =
+            bit_identical && results_identical(results.front(), result);
+    }
+    const double serial_total =
+        samples.front().build_s + samples.front().evaluate_s;
+
+    std::cout << "\n--- thread scaling (simulate -> train -> evaluate) ---\n"
+              << "hardware threads:  " << exec::hardware_threads() << '\n'
+              << "bit identical:     " << (bit_identical ? "yes" : "NO")
+              << '\n'
+              << "threads  build_s  evaluate_s  total_s  speedup\n";
+    for (const Sample& sample : samples) {
+        const double total = sample.build_s + sample.evaluate_s;
+        std::printf("%7zu  %7.3f  %10.3f  %7.3f  %6.2fx\n", sample.threads,
+                    sample.build_s, sample.evaluate_s, total,
+                    serial_total / total);
+    }
+
+    std::FILE* out = std::fopen(report_path, "w");
+    if (out == nullptr) {
+        std::cerr << "warning: could not write " << report_path << '\n';
+        return;
+    }
+    std::fprintf(out,
+                 "{\"schema\":\"wimi.bench_parallel.v1\","
+                 "\"hardware_threads\":%zu,"
+                 "\"bit_identical\":%s,"
+                 "\"accuracy\":%.17g,"
+                 "\"widths\":[",
+                 exec::hardware_threads(), bit_identical ? "true" : "false",
+                 results.front().accuracy);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const Sample& sample = samples[i];
+        const double total = sample.build_s + sample.evaluate_s;
+        std::fprintf(out,
+                     "%s{\"threads\":%zu,"
+                     "\"build_dataset_s\":%.6f,"
+                     "\"evaluate_s\":%.6f,"
+                     "\"total_s\":%.6f,"
+                     "\"speedup\":%.4f}",
+                     i == 0 ? "" : ",", sample.threads, sample.build_s,
+                     sample.evaluate_s, total, serial_total / total);
+    }
+    std::fprintf(out, "]}\n");
+    std::fclose(out);
+    std::cout << "report:            " << report_path << '\n';
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -224,5 +360,6 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     run_obs_overhead_comparison("BENCH_pipeline.json");
+    run_parallel_scaling("BENCH_parallel.json");
     return 0;
 }

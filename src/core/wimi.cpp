@@ -7,9 +7,21 @@
 #include "obs/obs.hpp"
 
 namespace wimi::core {
+namespace {
+
+/// Resolves the facade-level threads knob into the nested SVM config
+/// before any member is built from it.
+WimiConfig with_thread_plumbing(WimiConfig config) {
+    if (config.svm.threads == 0) {
+        config.svm.threads = config.threads;
+    }
+    return config;
+}
+
+}  // namespace
 
 Wimi::Wimi(WimiConfig config)
-    : config_(std::move(config)),
+    : config_(with_thread_plumbing(std::move(config))),
       pairs_(config_.pairs),
       subcarriers_(config_.subcarriers),
       svm_(config_.svm),
@@ -72,8 +84,15 @@ double Wimi::train_tuned(const ml::GridSearchConfig& search) {
            "Wimi::train_tuned: only the SVM backend is tunable");
     ensure(database_.material_count() >= 2,
            "Wimi::train_tuned: need at least two enrolled materials");
-    const auto result = ml::tune_svm(database_.dataset(), search);
+    ml::GridSearchConfig tuned_search = search;
+    if (tuned_search.threads == 0) {
+        tuned_search.threads = config_.threads;
+    }
+    const auto result = ml::tune_svm(database_.dataset(), tuned_search);
+    // Adopt the tuned (C, gamma) but keep the plumbed fan-out width.
+    const std::size_t svm_threads = config_.svm.threads;
     config_.svm = result.best;
+    config_.svm.threads = svm_threads;
     svm_ = ml::MulticlassSvm(config_.svm);
     train();
     return result.best_accuracy;

@@ -50,6 +50,12 @@ struct WimiConfig {
     ClassifierKind classifier = ClassifierKind::kSvm;
     ml::SvmConfig svm;
     std::size_t knn_k = 5;
+    /// Fan-out width for training parallelism (one-vs-one SVM machines,
+    /// grid-search points in train_tuned); 0 = exec pool default /
+    /// WIMI_THREADS, 1 = serial. Propagated into svm.threads and the
+    /// grid-search config when those leave their own width unset.
+    /// Training results are identical at every width.
+    std::size_t threads = 0;
 };
 
 /// Result of identifying one unknown target.

@@ -1,0 +1,85 @@
+// Deterministic task-parallel primitives over a process-wide pool.
+//
+// The pipeline's embarrassingly parallel sweeps (capture simulation,
+// cross-validation folds, one-vs-one SVM machines, grid-search points)
+// all fan out through here. The determinism contract every call site
+// follows:
+//
+//   1. draw anything stochastic (RNG seeds, jitter offsets, fold
+//      assignments) *serially, before* the fan-out, in the same order
+//      the legacy serial loop drew it;
+//   2. run the expensive, draw-free work as parallel_for/parallel_map
+//      tasks that write results only to their own index;
+//   3. reduce the results in task-index order.
+//
+// Under this contract threads=N is bit-identical to threads=1, and
+// threads=1 executes the plain serial loop (no pool machinery at all).
+//
+// Execution width resolution, first match wins:
+//   - ExecOptions::threads (a config field such as
+//     ExperimentConfig::threads) when non-zero;
+//   - set_thread_count(n) when called;
+//   - the WIMI_THREADS environment variable when set and >= 1;
+//   - std::thread::hardware_concurrency().
+//
+// Observability (when compiled in and enabled): every fan-out bumps the
+// `exec.tasks` counter, queue occupancy lands in the `exec.queue_depth`
+// gauge, and labeled regions record `exec.<label>.wall_us` (region
+// duration) vs `exec.<label>.cpu_us` (summed task durations) histograms —
+// their ratio is the achieved parallel speedup of that stage.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace wimi::exec {
+
+/// Per-call options for the parallel primitives.
+struct ExecOptions {
+    /// Obs stage label; metrics `exec.<label>.{wall_us,cpu_us}` are
+    /// recorded when set (string literal in practice). nullptr = untimed.
+    const char* label = nullptr;
+    /// Execution width cap for this call: 0 = pool default, 1 = serial
+    /// legacy path.
+    std::size_t threads = 0;
+};
+
+/// std::thread::hardware_concurrency(), never 0.
+std::size_t hardware_threads() noexcept;
+
+/// The default execution width: WIMI_THREADS when set and >= 1, else
+/// hardware_threads(). Read once per process.
+std::size_t default_thread_count();
+
+/// Current width of the process-wide pool.
+std::size_t thread_count();
+
+/// Replaces the process-wide pool with one of width `threads` (0 =
+/// default_thread_count()). Call at quiesce points only (startup, test
+/// setup, bench sweeps); in-flight parallel_for calls keep the old pool
+/// alive until they return.
+void set_thread_count(std::size_t threads);
+
+/// Runs body(0) .. body(n-1) on the process-wide pool (see the
+/// determinism contract above). Rethrows the first task exception after
+/// the region settles.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t)>& body,
+                  const ExecOptions& options = {});
+
+/// parallel_for that collects fn(i) into slot i of the result — the
+/// index-ordered reduction of the determinism contract in one call.
+/// T must be default-constructible.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t n, Fn&& fn,
+                            const ExecOptions& options = {}) {
+    std::vector<T> out(n);
+    parallel_for(
+        n, [&](std::size_t i) { out[i] = fn(i); }, options);
+    return out;
+}
+
+}  // namespace wimi::exec

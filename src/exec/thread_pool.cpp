@@ -1,0 +1,162 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace wimi::exec {
+namespace {
+
+thread_local int t_parallel_depth = 0;
+
+/// Shared state of one parallel_for call. Runners claim indices from
+/// `next` until exhausted; `done` counts settled indices (executed or
+/// skipped after a failure), so completion is reached even when a task
+/// throws. The body pointer is only dereferenced after a successful
+/// claim, which cannot happen once the caller has returned.
+struct TaskGroup {
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<bool> failed{false};
+    std::mutex mutex;
+    std::condition_variable finished;
+    std::exception_ptr error;
+};
+
+void run_group(const std::shared_ptr<TaskGroup>& group) {
+    ++t_parallel_depth;
+    for (;;) {
+        const std::size_t i =
+            group->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= group->n) {
+            break;
+        }
+        if (!group->failed.load(std::memory_order_relaxed)) {
+            try {
+                (*group->body)(i);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(group->mutex);
+                if (!group->error) {
+                    group->error = std::current_exception();
+                }
+                group->failed.store(true, std::memory_order_relaxed);
+            }
+        }
+        // acq_rel: the caller's completion check (acquire) must observe
+        // every result written before a worker's done increment.
+        if (group->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            group->n) {
+            const std::lock_guard<std::mutex> lock(group->mutex);
+            group->finished.notify_all();
+        }
+    }
+    --t_parallel_depth;
+}
+
+}  // namespace
+
+bool in_parallel_region() noexcept {
+    return t_parallel_depth > 0;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+    }
+    if (threads == 0) {
+        threads = 1;  // hardware_concurrency() may report 0
+    }
+    workers_.reserve(threads - 1);
+    for (std::size_t i = 0; i + 1 < threads; ++i) {
+        workers_.emplace_back([this, i] {
+            obs::set_thread_name("exec.worker." + std::to_string(i + 1));
+            worker_loop();
+        });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+        // Unstarted helper jobs are dropped: parallel_for completion never
+        // depends on them because the caller drains its own group.
+        queue_.clear();
+    }
+    work_available_.notify_all();
+    for (std::thread& worker : workers_) {
+        worker.join();
+    }
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_available_.wait(
+                lock, [this] { return stopping_ || !queue_.empty(); });
+            if (stopping_) {
+                return;
+            }
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            WIMI_OBS_GAUGE_SET("exec.queue_depth",
+                               static_cast<double>(queue_.size()));
+        }
+        job();
+    }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t)>& body,
+    std::size_t width) {
+    if (n == 0) {
+        return;
+    }
+    if (width == 0) {
+        width = thread_count();
+    }
+    width = std::min(width, n);
+    if (width <= 1 || workers_.empty() || in_parallel_region()) {
+        // Exact legacy path: plain loop on the calling thread, exceptions
+        // propagate directly.
+        for (std::size_t i = 0; i < n; ++i) {
+            body(i);
+        }
+        return;
+    }
+
+    auto group = std::make_shared<TaskGroup>();
+    group->n = n;
+    group->body = &body;
+
+    const std::size_t helpers = std::min(width - 1, workers_.size());
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t i = 0; i < helpers; ++i) {
+            queue_.emplace_back([group] { run_group(group); });
+        }
+        WIMI_OBS_GAUGE_SET("exec.queue_depth",
+                           static_cast<double>(queue_.size()));
+    }
+    work_available_.notify_all();
+
+    run_group(group);  // the caller works too
+
+    std::unique_lock<std::mutex> lock(group->mutex);
+    group->finished.wait(lock, [&] {
+        return group->done.load(std::memory_order_acquire) == group->n;
+    });
+    if (group->error) {
+        std::rethrow_exception(group->error);
+    }
+}
+
+}  // namespace wimi::exec

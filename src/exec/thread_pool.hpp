@@ -1,0 +1,72 @@
+// Work-queue thread pool with a deterministic parallel-for primitive.
+//
+// Design constraints, in order:
+//
+//   1. determinism — parallel_for hands out task indices from an atomic
+//      counter and callers write results by index, so the *set* of work
+//      per thread varies run to run but the reduction order never does.
+//      Combined with serially pre-drawn per-task seeds (see
+//      exec/parallel.hpp), threads=N reproduces threads=1 bit for bit;
+//   2. no idle callers — the thread issuing parallel_for executes tasks
+//      itself alongside the workers, so a pool of size 1 has zero
+//      workers and parallel_for degenerates to the plain serial loop
+//      (the exact legacy code path);
+//   3. no nested oversubscription — a parallel_for issued from inside a
+//      pool task runs inline on the issuing thread. Outer loops get the
+//      pool; inner loops stay serial (and therefore deterministic)
+//      instead of deadlocking on a saturated queue.
+//
+// Exceptions thrown by a task body are captured (first one wins), the
+// remaining unclaimed indices are skipped, and the exception is rethrown
+// on the calling thread once every claimed index has settled.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wimi::exec {
+
+/// Fixed-size worker pool. `threads` counts the caller too: a pool of
+/// size N spawns N-1 workers, and size 1 spawns none.
+class ThreadPool {
+public:
+    /// `threads` = total execution width including the calling thread;
+    /// 0 selects std::thread::hardware_concurrency().
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Total execution width (workers + the calling thread), >= 1.
+    std::size_t thread_count() const noexcept { return workers_.size() + 1; }
+
+    /// Runs body(0) .. body(n-1), each index exactly once, and returns
+    /// when all have finished. `width` caps the number of threads used
+    /// (0 = thread_count()). width <= 1, n <= 1, or a nested call all
+    /// run the plain serial loop on the calling thread.
+    void parallel_for(std::size_t n,
+                      const std::function<void(std::size_t)>& body,
+                      std::size_t width = 0);
+
+private:
+    void worker_loop();
+
+    std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::deque<std::function<void()>> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/// True while the current thread is executing inside a parallel_for
+/// region (worker or participating caller); nested parallel_for calls
+/// consult this to fall back to the serial loop.
+bool in_parallel_region() noexcept;
+
+}  // namespace wimi::exec

@@ -1,6 +1,7 @@
 #include "ml/grid_search.hpp"
 
 #include "common/error.hpp"
+#include "exec/parallel.hpp"
 #include "ml/metrics.hpp"
 #include "ml/scaler.hpp"
 
@@ -13,18 +14,32 @@ GridSearchResult tune_svm(const Dataset& data,
            "tune_svm: empty search space");
     ensure(config.folds >= 2, "tune_svm: need at least 2 folds");
 
-    GridSearchResult result;
-    result.best_accuracy = -1.0;
+    // Same folds for every grid point: shuffle the partition once, up
+    // front, instead of re-deriving the identical assignment from a
+    // fresh Rng(config.seed) inside the loop.
+    Rng rng(config.seed);
+    const auto assignment = stratified_folds(data, config.folds, rng);
+
+    // Grid points in legacy (C-major, then gamma) order; the index-order
+    // reduction below preserves the tie-break semantics.
+    std::vector<std::pair<double, double>> points;
+    points.reserve(config.c_values.size() * config.gamma_values.size());
     for (const double c : config.c_values) {
         for (const double gamma : config.gamma_values) {
+            points.emplace_back(c, gamma);
+        }
+    }
+
+    const auto accuracies = exec::parallel_map<double>(
+        points.size(),
+        [&](std::size_t p) {
             SvmConfig candidate;
             candidate.kernel = config.kernel;
-            candidate.c = c;
-            candidate.gamma = gamma;
+            candidate.c = points[p].first;
+            candidate.gamma = points[p].second;
 
-            Rng rng(config.seed);  // same folds for every grid point
             const auto confusion = cross_validate(
-                data, config.folds, rng,
+                data, assignment, config.folds,
                 [&](const Dataset& train, const Dataset& test) {
                     StandardScaler scaler;
                     scaler.fit(train);
@@ -32,21 +47,31 @@ GridSearchResult tune_svm(const Dataset& data,
                     svm.train(scaler.transform(train));
                     std::vector<int> predictions;
                     predictions.reserve(test.size());
+                    std::vector<double> scaled(test.feature_count());
                     for (std::size_t i = 0; i < test.size(); ++i) {
-                        predictions.push_back(svm.predict(
-                            scaler.transform(test.features(i))));
+                        scaler.transform(test.features(i), scaled);
+                        predictions.push_back(svm.predict(scaled));
                     }
                     return predictions;
                 });
+            return confusion.accuracy();
+        },
+        {.label = "grid.points", .threads = config.threads});
 
-            const double accuracy = confusion.accuracy();
-            result.evaluated.push_back({c, gamma, accuracy});
-            // Strictly-greater keeps the first (smallest C, then gamma)
-            // among ties: prefer the smoother model.
-            if (accuracy > result.best_accuracy) {
-                result.best_accuracy = accuracy;
-                result.best = candidate;
-            }
+    GridSearchResult result;
+    result.best_accuracy = -1.0;
+    for (std::size_t p = 0; p < points.size(); ++p) {
+        SvmConfig candidate;
+        candidate.kernel = config.kernel;
+        candidate.c = points[p].first;
+        candidate.gamma = points[p].second;
+        result.evaluated.push_back(
+            {candidate.c, candidate.gamma, accuracies[p]});
+        // Strictly-greater keeps the first (smallest C, then gamma)
+        // among ties: prefer the smoother model.
+        if (accuracies[p] > result.best_accuracy) {
+            result.best_accuracy = accuracies[p];
+            result.best = candidate;
         }
     }
     return result;

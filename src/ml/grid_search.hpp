@@ -23,6 +23,9 @@ struct GridSearchConfig {
     Kernel kernel = Kernel::kRbf;
     std::size_t folds = 5;
     std::uint64_t seed = 99;
+    /// Fan-out width for grid-point evaluation (0 = exec pool default,
+    /// 1 = serial). The winner is identical at every width.
+    std::size_t threads = 0;
 };
 
 /// One evaluated grid point.

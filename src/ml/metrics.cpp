@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "common/error.hpp"
+#include "exec/parallel.hpp"
 
 namespace wimi::ml {
 
@@ -110,28 +111,68 @@ ConfusionMatrix cross_validate(
     const Dataset& data, std::size_t folds, Rng& rng,
     const std::function<std::vector<int>(const Dataset&, const Dataset&)>&
         train_and_predict,
-    std::vector<std::string> label_names) {
+    std::vector<std::string> label_names, std::size_t threads) {
     ensure(folds >= 2, "cross_validate: need at least 2 folds");
+    // Fold assignment is the only consumer of `rng`: drawn serially here,
+    // before any fan-out, per the exec determinism contract.
     const auto assignment = stratified_folds(data, folds, rng);
+    return cross_validate(data, assignment, folds, train_and_predict,
+                          std::move(label_names), threads);
+}
 
+ConfusionMatrix cross_validate(
+    const Dataset& data, std::span<const std::size_t> assignment,
+    std::size_t folds,
+    const std::function<std::vector<int>(const Dataset&, const Dataset&)>&
+        train_and_predict,
+    std::vector<std::string> label_names, std::size_t threads) {
+    ensure(folds >= 2, "cross_validate: need at least 2 folds");
+    ensure(assignment.size() == data.size(),
+           "cross_validate: assignment/data size mismatch");
+
+    std::vector<std::vector<std::size_t>> test_rows(folds);
+    for (std::size_t row = 0; row < data.size(); ++row) {
+        ensure(assignment[row] < folds,
+               "cross_validate: fold index out of range");
+        test_rows[assignment[row]].push_back(row);
+    }
+
+    // Fan out one task per fold; each builds its own train/test subsets
+    // and returns predictions for its fold's rows. A fold with an empty
+    // side returns no predictions and is skipped in the reduction, like
+    // the serial loop's `continue`.
+    const auto fold_predictions = exec::parallel_map<std::vector<int>>(
+        folds,
+        [&](std::size_t fold) -> std::vector<int> {
+            std::vector<std::size_t> train_rows;
+            train_rows.reserve(data.size() - test_rows[fold].size());
+            for (std::size_t row = 0; row < data.size(); ++row) {
+                if (assignment[row] != fold) {
+                    train_rows.push_back(row);
+                }
+            }
+            if (test_rows[fold].empty() || train_rows.empty()) {
+                return {};
+            }
+            const Dataset train = data.subset(train_rows);
+            const Dataset test = data.subset(test_rows[fold]);
+            auto predictions = train_and_predict(train, test);
+            ensure(predictions.size() == test.size(),
+                   "cross_validate: prediction count mismatch");
+            return predictions;
+        },
+        {.label = "cv.folds", .threads = threads});
+
+    // Reduce in fold order: the pooled matrix is identical at any width.
     ConfusionMatrix confusion(data.distinct_labels(),
                               std::move(label_names));
     for (std::size_t fold = 0; fold < folds; ++fold) {
-        std::vector<std::size_t> train_rows;
-        std::vector<std::size_t> test_rows;
-        for (std::size_t row = 0; row < data.size(); ++row) {
-            (assignment[row] == fold ? test_rows : train_rows).push_back(row);
+        if (fold_predictions[fold].size() != test_rows[fold].size()) {
+            continue;  // skipped fold (one side empty)
         }
-        if (test_rows.empty() || train_rows.empty()) {
-            continue;
-        }
-        const Dataset train = data.subset(train_rows);
-        const Dataset test = data.subset(test_rows);
-        const auto predictions = train_and_predict(train, test);
-        ensure(predictions.size() == test.size(),
-               "cross_validate: prediction count mismatch");
-        for (std::size_t i = 0; i < test.size(); ++i) {
-            confusion.record(test.label(i), predictions[i]);
+        for (std::size_t i = 0; i < test_rows[fold].size(); ++i) {
+            confusion.record(data.label(test_rows[fold][i]),
+                             fold_predictions[fold][i]);
         }
     }
     return confusion;

@@ -59,10 +59,26 @@ private:
 /// Trains `classify` on each fold's complement and evaluates on the fold;
 /// returns the pooled confusion matrix. `train_and_predict` receives
 /// (train set, test set) and must return predictions for each test row.
+///
+/// Folds are evaluated in parallel on the exec pool (`threads` caps the
+/// width; 0 = pool default, 1 = serial). `train_and_predict` must
+/// therefore be safe to invoke concurrently from several threads —
+/// closures that only build fold-local models qualify. Fold results are
+/// pooled in fold order, so the matrix is identical at every width.
 ConfusionMatrix cross_validate(
     const Dataset& data, std::size_t folds, Rng& rng,
     const std::function<std::vector<int>(const Dataset&, const Dataset&)>&
         train_and_predict,
-    std::vector<std::string> label_names = {});
+    std::vector<std::string> label_names = {}, std::size_t threads = 0);
+
+/// cross_validate over a precomputed fold assignment (one fold index per
+/// row, as returned by stratified_folds) — lets callers evaluating many
+/// models on the same partition (grid search) shuffle once and reuse.
+ConfusionMatrix cross_validate(
+    const Dataset& data, std::span<const std::size_t> assignment,
+    std::size_t folds,
+    const std::function<std::vector<int>(const Dataset&, const Dataset&)>&
+        train_and_predict,
+    std::vector<std::string> label_names = {}, std::size_t threads = 0);
 
 }  // namespace wimi::ml

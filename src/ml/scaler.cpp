@@ -38,20 +38,29 @@ void StandardScaler::fit(const Dataset& data) {
 
 std::vector<double> StandardScaler::transform(
     std::span<const double> features) const {
+    std::vector<double> out(features.size());
+    transform(features, out);
+    return out;
+}
+
+void StandardScaler::transform(std::span<const double> features,
+                               std::span<double> out) const {
     ensure(fitted(), "StandardScaler::transform: fit() not called");
     ensure(features.size() == means_.size(),
            "StandardScaler::transform: feature width mismatch");
-    std::vector<double> out(features.size());
+    ensure(out.size() == features.size(),
+           "StandardScaler::transform: output span size mismatch");
     for (std::size_t j = 0; j < features.size(); ++j) {
         out[j] = (features[j] - means_[j]) / stddevs_[j];
     }
-    return out;
 }
 
 Dataset StandardScaler::transform(const Dataset& data) const {
     Dataset out(data.feature_count());
+    std::vector<double> scaled(data.feature_count());
     for (std::size_t row = 0; row < data.size(); ++row) {
-        out.add(transform(data.features(row)), data.label(row));
+        transform(data.features(row), scaled);
+        out.add(scaled, data.label(row));
     }
     return out;
 }

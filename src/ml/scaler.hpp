@@ -22,6 +22,12 @@ public:
     /// Scales one feature vector. Requires fit() first and matching width.
     std::vector<double> transform(std::span<const double> features) const;
 
+    /// Scales one feature vector into `out` (same size as `features`,
+    /// which may alias it) — the allocation-free form for predict loops
+    /// that scale many samples against one fitted scaler.
+    void transform(std::span<const double> features,
+                   std::span<double> out) const;
+
     /// Applies transform() to every row of `data`.
     Dataset transform(const Dataset& data) const;
 

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "exec/parallel.hpp"
 #include "obs/obs.hpp"
 
 namespace wimi::ml {
@@ -208,14 +209,27 @@ void MulticlassSvm::train(const Dataset& data) {
     classes_ = data.distinct_labels();
     ensure(classes_.size() >= 2,
            "MulticlassSvm::train: need at least 2 classes");
-    machines_.clear();
+    machines_.clear();  // a failed retrain must not leave a stale model
 
-    const std::size_t width = data.feature_count();
+    // Enumerate the unordered label pairs up front, then train the
+    // machines in parallel: each SMO run seeds its own Rng from the
+    // config, so every machine is deterministic in isolation, and
+    // collecting by pair index keeps machines_ in the legacy order.
+    std::vector<std::pair<int, int>> label_pairs;
+    label_pairs.reserve(classes_.size() * (classes_.size() - 1) / 2);
     for (std::size_t a = 0; a < classes_.size(); ++a) {
         for (std::size_t b = a + 1; b < classes_.size(); ++b) {
+            label_pairs.emplace_back(classes_[a], classes_[b]);
+        }
+    }
+
+    const std::size_t width = data.feature_count();
+    machines_ = exec::parallel_map<PairMachine>(
+        label_pairs.size(),
+        [&](std::size_t p) {
             PairMachine machine;
-            machine.positive_label = classes_[a];
-            machine.negative_label = classes_[b];
+            machine.positive_label = label_pairs[p].first;
+            machine.negative_label = label_pairs[p].second;
             machine.svm = BinarySvm(config_);
 
             std::vector<double> features;
@@ -231,9 +245,9 @@ void MulticlassSvm::train(const Dataset& data) {
                 labels.push_back(y == machine.positive_label ? 1 : -1);
             }
             machine.svm.train(features, width, labels);
-            machines_.push_back(std::move(machine));
-        }
-    }
+            return machine;
+        },
+        {.label = "svm.pairs", .threads = config_.threads});
 }
 
 std::vector<std::pair<int, int>> MulticlassSvm::votes(

@@ -32,6 +32,9 @@ struct SvmConfig {
     /// Hard cap on total SMO passes (safety bound).
     std::size_t max_passes = 200;
     std::uint64_t seed = 42;  ///< randomized pair-selection seed
+    /// Fan-out width for one-vs-one training (0 = exec pool default,
+    /// 1 = serial). Results are identical at every width.
+    std::size_t threads = 0;
 };
 
 /// Two-class SVM trained by SMO. Labels are +1 / -1.

@@ -28,6 +28,9 @@ struct Collector {
     std::mutex mutex;
     std::vector<ThreadBuffer*> live;
     std::vector<TraceEvent> retired;
+    /// tid -> name of exited threads that were named (live names stay in
+    /// their ThreadBuffer until retirement).
+    std::vector<std::pair<std::uint32_t, std::string>> retired_names;
     std::uint32_t next_tid = 1;
 };
 
@@ -44,6 +47,7 @@ struct ThreadBuffer {
     bool wrapped = false;
     std::uint32_t tid = 0;
     std::uint32_t depth = 0;
+    std::string name;  // set via set_thread_name; read under `mutex`
 
     ThreadBuffer() {
         ring.reserve(kRingCapacity);
@@ -60,6 +64,9 @@ struct ThreadBuffer {
         c.retired.insert(c.retired.end(),
                          std::make_move_iterator(events.begin()),
                          std::make_move_iterator(events.end()));
+        if (!name.empty()) {
+            c.retired_names.emplace_back(tid, std::move(name));
+        }
         c.live.erase(std::remove(c.live.begin(), c.live.end(), this),
                      c.live.end());
     }
@@ -135,6 +142,29 @@ std::size_t trace_ring_capacity() noexcept {
     return kRingCapacity;
 }
 
+void set_thread_name(std::string name) {
+    ThreadBuffer& buffer = thread_buffer();
+    const std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.name = std::move(name);
+}
+
+std::vector<std::pair<std::uint32_t, std::string>> trace_thread_names() {
+    Collector& c = collector();
+    std::vector<std::pair<std::uint32_t, std::string>> names;
+    {
+        const std::lock_guard<std::mutex> lock(c.mutex);
+        names = c.retired_names;
+        for (ThreadBuffer* buffer : c.live) {
+            const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+            if (!buffer->name.empty()) {
+                names.emplace_back(buffer->tid, buffer->name);
+            }
+        }
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
 std::vector<TraceEvent> trace_snapshot() {
     Collector& c = collector();
     std::vector<TraceEvent> all;
@@ -170,6 +200,17 @@ std::string trace_to_json() {
     out.reserve(events.size() * 96 + 64);
     out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
     bool first = true;
+    for (const auto& [tid, name] : trace_thread_names()) {
+        if (!first) {
+            out += ',';
+        }
+        first = false;
+        out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+        out += std::to_string(tid);
+        out += ",\"args\":{\"name\":\"";
+        out += json::escape(name);
+        out += "\"}}";
+    }
     for (const TraceEvent& e : events) {
         if (!first) {
             out += ',';

@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -72,6 +73,16 @@ private:
 /// Per-thread ring capacity: once a thread has this many finished spans,
 /// the oldest are overwritten.
 std::size_t trace_ring_capacity() noexcept;
+
+/// Names the calling thread in trace exports (Chrome "thread_name"
+/// metadata events, shown as lane labels in chrome://tracing/Perfetto).
+/// The exec pool names its workers "exec.worker.<k>"; name the main
+/// thread yourself if desired. Survives trace_reset().
+void set_thread_name(std::string name);
+
+/// (tid, name) for every thread that called set_thread_name, live or
+/// exited, sorted by tid.
+std::vector<std::pair<std::uint32_t, std::string>> trace_thread_names();
 
 /// All finished spans from every thread (live and exited), sorted by
 /// start time.

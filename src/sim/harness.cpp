@@ -3,6 +3,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "dsp/stats.hpp"
+#include "exec/parallel.hpp"
 #include "ml/knn.hpp"
 #include "ml/scaler.hpp"
 #include "ml/svm.hpp"
@@ -22,13 +23,14 @@ std::vector<int> train_and_predict(const ml::Dataset& train,
 
     std::vector<int> predictions;
     predictions.reserve(test.size());
+    std::vector<double> scaled(test.feature_count());
     switch (config.classifier) {
         case core::ClassifierKind::kSvm: {
             ml::MulticlassSvm svm(config.svm);
             svm.train(scaled_train);
             for (std::size_t i = 0; i < test.size(); ++i) {
-                predictions.push_back(
-                    svm.predict(scaler.transform(test.features(i))));
+                scaler.transform(test.features(i), scaled);
+                predictions.push_back(svm.predict(scaled));
             }
             break;
         }
@@ -36,8 +38,8 @@ std::vector<int> train_and_predict(const ml::Dataset& train,
             ml::KnnClassifier knn(config.knn_k);
             knn.train(scaled_train);
             for (std::size_t i = 0; i < test.size(); ++i) {
-                predictions.push_back(
-                    knn.predict(scaler.transform(test.features(i))));
+                scaler.transform(test.features(i), scaled);
+                predictions.push_back(knn.predict(scaled));
             }
             break;
         }
@@ -88,20 +90,47 @@ ml::Dataset build_feature_dataset(const ExperimentConfig& config,
     const Scenario scenario(config.scenario);
     Rng rng(config.seed);
 
-    ml::Dataset data;
+    // Determinism contract (exec/parallel.hpp): draw every stochastic
+    // input — the beaker repositioning offset and the capture session
+    // seed per (liquid, repetition) — serially, in the legacy loop
+    // order, so the rng stream is consumed identically at every width.
+    struct CaptureTask {
+        rf::Liquid liquid = rf::Liquid::kPureWater;
+        int label = 0;
+        rf::Vec2 offset;
+        std::uint64_t session_seed = 0;
+    };
+    std::vector<CaptureTask> tasks;
+    tasks.reserve(config.liquids.size() * config.repetitions);
     for (std::size_t li = 0; li < config.liquids.size(); ++li) {
         for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
             // Each repetition is a fresh capture session with the beaker
             // repositioned imperfectly, as when an experimenter swaps and
             // refills it.
-            const rf::Vec2 offset{
-                rng.gaussian(0.0, config.position_jitter_m),
-                rng.gaussian(0.0, config.position_jitter_m)};
-            const auto pair = scenario.capture_measurement(
-                config.liquids[li], rng.next_u64(), offset);
-            data.add(wimi.features(pair.baseline, pair.target),
-                     static_cast<int>(li));
+            CaptureTask task;
+            task.liquid = config.liquids[li];
+            task.label = static_cast<int>(li);
+            task.offset = {rng.gaussian(0.0, config.position_jitter_m),
+                           rng.gaussian(0.0, config.position_jitter_m)};
+            task.session_seed = rng.next_u64();
+            tasks.push_back(task);
         }
+    }
+
+    // Fan out the expensive capture + feature extraction, then assemble
+    // the dataset in task order.
+    const auto rows = exec::parallel_map<std::vector<double>>(
+        tasks.size(),
+        [&](std::size_t t) {
+            const auto pair = scenario.capture_measurement(
+                tasks[t].liquid, tasks[t].session_seed, tasks[t].offset);
+            return wimi.features(pair.baseline, pair.target);
+        },
+        {.label = "harness.capture", .threads = config.threads});
+
+    ml::Dataset data;
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+        data.add(rows[t], tasks[t].label);
     }
     if (WIMI_OBS_ENABLED()) {
         // Per-environment feature spread, labeled by the scenario's
@@ -126,7 +155,7 @@ ExperimentResult evaluate_dataset(const ml::Dataset& data,
         [&](const ml::Dataset& train, const ml::Dataset& test) {
             return train_and_predict(train, test, config.wimi);
         },
-        class_names);
+        class_names, config.threads);
     ExperimentResult result{std::move(confusion), 0.0, 0.0,
                             std::move(class_names)};
     result.accuracy = result.confusion.accuracy();

@@ -28,6 +28,10 @@ struct ExperimentConfig {
     /// Std-dev of the beaker repositioning between repetitions [m].
     double position_jitter_m = 0.004;
     std::uint64_t seed = 7;
+    /// Fan-out width for capture simulation and cross-validation folds
+    /// (0 = exec pool default / WIMI_THREADS, 1 = serial legacy path).
+    /// Results are bit-identical at every width.
+    std::size_t threads = 0;
 };
 
 /// Outcome of one identification experiment.

@@ -31,6 +31,7 @@
 #include "csi/trace_io.hpp"
 #include "dsp/circular.hpp"
 #include "dsp/stats.hpp"
+#include "exec/parallel.hpp"
 #include "obs/obs.hpp"
 #include "sim/scenario.hpp"
 
@@ -229,7 +230,10 @@ int cmd_pipeline_profile(const std::string& path,
                        format_double(totals.total_us / 1e3, 3)});
     }
     table.print(std::cout);
-    std::cout << "\nChrome trace: " << trace_out << " (load in "
+    std::cout << "\nExec threads: " << exec::thread_count() << " of "
+              << exec::hardware_threads()
+              << " hardware (override with WIMI_THREADS)\n"
+              << "Chrome trace: " << trace_out << " (load in "
               << "chrome://tracing or ui.perfetto.dev)\n"
               << "Metrics:      " << metrics_out << '\n';
     return 0;
