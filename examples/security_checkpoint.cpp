@@ -6,8 +6,11 @@
 // liquor standing in for a flammable solvent), builds a persistent
 // material database, then screens a stream of unknown containers and
 // raises alerts. Demonstrates: database save/load, CSI trace recording
-// (audit trail), and thresholded screening on top of identification.
+// with integrity verification (an audit trail is worthless if a torn
+// write can silently corrupt it), and thresholded screening on top of
+// identification.
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
@@ -77,12 +80,27 @@ int main() {
     };
 
     int alerts = 0;
+    std::uint64_t audited_frames = 0;
     for (const auto& [liquid, description] : lane) {
         const auto m = scenario.capture_measurement(liquid, rng.next_u64());
-        // Audit trail: record the raw CSI of every screening.
+        // Audit trail: record the raw CSI of every screening, then
+        // re-verify the WCSI v2 checksums through the streaming reader —
+        // the same gate `csi_trace_tool verify` applies before ingestion.
         const auto trace_path = std::filesystem::temp_directory_path() /
                                 "checkpoint_last_screening.wcsi";
         csi::write_trace_file(trace_path, m.target);
+        {
+            std::ifstream in(trace_path, std::ios::binary);
+            csi::TraceReader reader(in,
+                                    {csi::ReadPolicy::kSkipCorrupt});
+            while (reader.next()) {
+            }
+            if (!reader.report().clean()) {
+                std::cerr << "audit trail damaged on disk, aborting\n";
+                return 1;
+            }
+            audited_frames += reader.report().frames_recovered;
+        }
 
         const auto result = wimi.identify(m.baseline, m.target);
         const bool alert = result.material_name == kFlagged;
@@ -92,7 +110,8 @@ int main() {
                   << '\n';
     }
     std::cout << "\nScreened " << lane.size() << " containers, " << alerts
-              << " alerts raised (expected 2).\n";
+              << " alerts raised (expected 2); " << audited_frames
+              << " audit-trail frames written and CRC-verified.\n";
 
     std::filesystem::remove(db_path);
     std::filesystem::remove(std::filesystem::temp_directory_path() /

@@ -1,0 +1,45 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace wimi {
+namespace {
+
+constexpr std::uint32_t kPolynomial = 0xEDB88320u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit) {
+            c = (c & 1u) ? (kPolynomial ^ (c >> 1)) : (c >> 1);
+        }
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+std::uint32_t advance(std::uint32_t state, const unsigned char* bytes,
+                      std::size_t size) noexcept {
+    for (std::size_t i = 0; i < size; ++i) {
+        state = kTable[(state ^ bytes[i]) & 0xFFu] ^ (state >> 8);
+    }
+    return state;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) noexcept {
+    return advance(0xFFFFFFFFu, static_cast<const unsigned char*>(data),
+                   size) ^
+           0xFFFFFFFFu;
+}
+
+void Crc32::update(const void* data, std::size_t size) noexcept {
+    state_ =
+        advance(state_, static_cast<const unsigned char*>(data), size);
+}
+
+}  // namespace wimi

@@ -1,6 +1,7 @@
 #include "csi/frame.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "common/error.hpp"
 
@@ -38,6 +39,18 @@ double CsiFrame::phase(std::size_t antenna, std::size_t subcarrier) const {
     return std::arg(at(antenna, subcarrier));
 }
 
+bool CsiFrame::is_finite() const {
+    if (!std::isfinite(timestamp_s) || !std::isfinite(rssi_dbm)) {
+        return false;
+    }
+    for (const Complex& h : data_) {
+        if (!std::isfinite(h.real()) || !std::isfinite(h.imag())) {
+            return false;
+        }
+    }
+    return true;
+}
+
 std::size_t CsiSeries::antenna_count() const {
     return frames.empty() ? 0 : frames.front().antenna_count();
 }
@@ -56,6 +69,14 @@ void CsiSeries::validate() const {
         ensure(frame.antenna_count() == n_ant &&
                    frame.subcarrier_count() == n_sc,
                "CsiSeries: frames have inconsistent dimensions");
+    }
+}
+
+void CsiSeries::validate_finite() const {
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        ensure(frames[i].is_finite(),
+               "CsiSeries: non-finite values in frame " +
+                   std::to_string(i));
     }
 }
 

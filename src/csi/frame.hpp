@@ -44,6 +44,12 @@ public:
     /// Receiver RSSI report [dBm-like arbitrary scale], as the 5300 gives.
     double rssi_dbm = 0.0;
 
+    /// True iff every stored value — timestamp, RSSI, and all complex
+    /// components — is finite (no NaN/Inf). Deserialization and
+    /// quantization reject frames that fail this, so corrupt doubles
+    /// fail loudly instead of propagating through the pipeline.
+    bool is_finite() const;
+
     /// Flat row-major storage (antenna-major), exposed for serialization.
     std::span<const Complex> raw() const { return data_; }
     std::span<Complex> raw() { return data_; }
@@ -68,6 +74,9 @@ struct CsiSeries {
 
     /// Throws wimi::Error unless all frames share dimensions.
     void validate() const;
+
+    /// Throws wimi::Error unless every frame is_finite().
+    void validate_finite() const;
 
     /// Amplitude time series |H_m| for one (antenna, subcarrier) across
     /// all packets m.

@@ -10,6 +10,10 @@ namespace wimi::csi {
 QuantizedFrame quantize(const CsiFrame& frame) {
     ensure(frame.antenna_count() > 0 && frame.subcarrier_count() > 0,
            "quantize: empty frame");
+    // A NaN component would survive the max_component > 0 guard below
+    // and reach static_cast<int8_t>(NaN) — undefined behavior. Reject
+    // non-finite input outright (Inf would also zero the scale).
+    ensure(frame.is_finite(), "quantize: non-finite CSI component");
     double max_component = 0.0;
     for (const Complex& h : frame.raw()) {
         max_component = std::max({max_component, std::abs(h.real()),

@@ -1,98 +1,336 @@
 #include "csi/trace_io.hpp"
 
+#include <algorithm>
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <string>
 
+#include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace wimi::csi {
 namespace {
 
 constexpr std::array<char, 4> kMagic = {'W', 'C', 'S', 'I'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kByteOrderMarker = 0x01020304u;
 
-template <typename T>
-void write_raw(std::ostream& stream, const T& value) {
-    stream.write(reinterpret_cast<const char*>(&value), sizeof(T));
+// Header sizes in bytes. v1: magic + version + ant + sc + frames.
+// v2 adds the byte-order marker and the trailing header CRC.
+constexpr std::size_t kHeaderBytesV1 = 4 + 4 + 4 + 4 + 8;
+constexpr std::size_t kHeaderBytesV2 = 4 + 4 + 4 + 4 + 4 + 8 + 4;
+
+// Plausibility caps: a corrupt header must not drive a multi-GB
+// allocation. Real captures are 3 antennas x 30 subcarriers; these are
+// three orders of magnitude above any conceivable array.
+constexpr std::uint32_t kMaxDimension = 65535;
+constexpr std::uint64_t kMaxFrames = 100'000'000ULL;
+
+// --- explicit little-endian field codec ---------------------------------
+
+void put_u32_le(std::vector<unsigned char>& out, std::uint32_t v) {
+    out.push_back(static_cast<unsigned char>(v & 0xFFu));
+    out.push_back(static_cast<unsigned char>((v >> 8) & 0xFFu));
+    out.push_back(static_cast<unsigned char>((v >> 16) & 0xFFu));
+    out.push_back(static_cast<unsigned char>((v >> 24) & 0xFFu));
 }
 
-template <typename T>
-T read_raw(std::istream& stream) {
-    T value{};
-    stream.read(reinterpret_cast<char*>(&value), sizeof(T));
-    ensure(static_cast<bool>(stream), "read_trace: truncated stream");
-    return value;
+void put_u64_le(std::vector<unsigned char>& out, std::uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8) {
+        out.push_back(static_cast<unsigned char>((v >> shift) & 0xFFu));
+    }
+}
+
+void put_f64_le(std::vector<unsigned char>& out, double v) {
+    put_u64_le(out, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint32_t get_u32_le(const unsigned char* p) {
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64_le(const unsigned char* p) {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+        v = (v << 8) | static_cast<std::uint64_t>(p[i]);
+    }
+    return v;
+}
+
+double get_f64_le(const unsigned char* p) {
+    return std::bit_cast<double>(get_u64_le(p));
 }
 
 }  // namespace
 
-void write_trace(std::ostream& stream, const CsiSeries& series) {
+// --- writer -------------------------------------------------------------
+
+void write_trace(std::ostream& stream, const CsiSeries& series,
+                 const TraceWriteOptions& options) {
+    ensure(options.version == kTraceVersion1 ||
+               options.version == kTraceVersion2,
+           "write_trace: unsupported version");
     series.validate();
-    stream.write(kMagic.data(), kMagic.size());
-    write_raw(stream, kVersion);
-    write_raw(stream, static_cast<std::uint32_t>(series.antenna_count()));
-    write_raw(stream,
-              static_cast<std::uint32_t>(series.subcarrier_count()));
-    write_raw(stream, static_cast<std::uint64_t>(series.packet_count()));
+    for (std::size_t i = 0; i < series.frames.size(); ++i) {
+        ensure(series.frames[i].is_finite(),
+               "write_trace: non-finite CSI values in frame " +
+                   std::to_string(i));
+    }
+
+    std::vector<unsigned char> header;
+    header.reserve(kHeaderBytesV2);
+    header.insert(header.end(), kMagic.begin(), kMagic.end());
+    put_u32_le(header, options.version);
+    if (options.version == kTraceVersion2) {
+        put_u32_le(header, kByteOrderMarker);
+    }
+    put_u32_le(header, static_cast<std::uint32_t>(series.antenna_count()));
+    put_u32_le(header,
+               static_cast<std::uint32_t>(series.subcarrier_count()));
+    put_u64_le(header, static_cast<std::uint64_t>(series.packet_count()));
+    if (options.version == kTraceVersion2) {
+        put_u32_le(header, crc32(header.data(), header.size()));
+    }
+    stream.write(reinterpret_cast<const char*>(header.data()),
+                 static_cast<std::streamsize>(header.size()));
+
+    std::vector<unsigned char> record;
     for (const auto& frame : series.frames) {
-        write_raw(stream, frame.timestamp_s);
-        write_raw(stream, frame.rssi_dbm);
+        record.clear();
+        put_f64_le(record, frame.timestamp_s);
+        put_f64_le(record, frame.rssi_dbm);
         for (const Complex& h : frame.raw()) {
-            write_raw(stream, h.real());
-            write_raw(stream, h.imag());
+            put_f64_le(record, h.real());
+            put_f64_le(record, h.imag());
         }
+        if (options.version == kTraceVersion2) {
+            put_u32_le(record, crc32(record.data(), record.size()));
+        }
+        stream.write(reinterpret_cast<const char*>(record.data()),
+                     static_cast<std::streamsize>(record.size()));
     }
     ensure(static_cast<bool>(stream), "write_trace: stream failure");
 }
 
 void write_trace_file(const std::filesystem::path& path,
-                      const CsiSeries& series) {
+                      const CsiSeries& series,
+                      const TraceWriteOptions& options) {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     ensure(out.is_open(),
            "write_trace_file: cannot open " + path.string());
-    write_trace(out, series);
+    write_trace(out, series, options);
 }
 
-CsiSeries read_trace(std::istream& stream) {
-    std::array<char, 4> magic{};
-    stream.read(magic.data(), magic.size());
-    ensure(static_cast<bool>(stream) && magic == kMagic,
-           "read_trace: bad magic (not a WCSI trace)");
-    const auto version = read_raw<std::uint32_t>(stream);
-    ensure(version == kVersion, "read_trace: unsupported version");
-    const auto n_ant = read_raw<std::uint32_t>(stream);
-    const auto n_sc = read_raw<std::uint32_t>(stream);
-    const auto n_frames = read_raw<std::uint64_t>(stream);
-    ensure((n_ant >= 1 && n_sc >= 1) || n_frames == 0,
-           "read_trace: degenerate dimensions");
-    // Frames are ~(n_ant * n_sc * 16 + 16) bytes; cap to keep a corrupt
-    // header from driving a multi-GB allocation.
-    ensure(n_frames <= 100'000'000ULL, "read_trace: implausible frame count");
+// --- streaming reader ---------------------------------------------------
 
-    CsiSeries series;
-    series.frames.reserve(static_cast<std::size_t>(n_frames));
-    for (std::uint64_t i = 0; i < n_frames; ++i) {
-        CsiFrame frame(n_ant, n_sc);
-        frame.timestamp_s = read_raw<double>(stream);
-        frame.rssi_dbm = read_raw<double>(stream);
-        for (Complex& h : frame.raw()) {
-            const double re = read_raw<double>(stream);
-            const double im = read_raw<double>(stream);
-            h = Complex(re, im);
+TraceReader::TraceReader(std::istream& stream, TraceReadOptions options)
+    : stream_(stream), options_(options) {
+    read_header();
+}
+
+void TraceReader::read_header() {
+    const bool strict = options_.policy == ReadPolicy::kStrict;
+
+    // Magic and version first: a stream that fails here is not a WCSI
+    // container of any vintage, so every policy throws.
+    std::array<unsigned char, 8> prefix{};
+    stream_.read(reinterpret_cast<char*>(prefix.data()), prefix.size());
+    ensure(static_cast<bool>(stream_) &&
+               std::memcmp(prefix.data(), kMagic.data(), kMagic.size()) ==
+                   0,
+           "read_trace: bad magic (not a WCSI trace)");
+    const std::uint32_t version = get_u32_le(prefix.data() + 4);
+    ensure(version == kTraceVersion1 || version == kTraceVersion2,
+           "read_trace: unsupported version " + std::to_string(version));
+    report_.version = version;
+
+    // Rest of the header; length depends on the version.
+    const std::size_t rest_bytes =
+        (version == kTraceVersion2 ? kHeaderBytesV2 : kHeaderBytesV1) -
+        prefix.size();
+    std::array<unsigned char, kHeaderBytesV2 - 8> rest{};
+    stream_.read(reinterpret_cast<char*>(rest.data()),
+                 static_cast<std::streamsize>(rest_bytes));
+    if (!stream_) {
+        report_.truncated = true;
+        report_.header_ok = false;
+        done_ = true;
+        ensure(!strict, "read_trace: truncated header");
+        return;
+    }
+
+    const unsigned char* p = rest.data();
+    if (version == kTraceVersion2) {
+        const std::uint32_t marker = get_u32_le(p);
+        p += 4;
+        if (marker != kByteOrderMarker) {
+            report_.header_ok = false;
+            done_ = true;
+            ensure(!strict, "read_trace: byte-order marker mismatch");
+            return;
         }
-        series.frames.push_back(std::move(frame));
+    }
+    const std::uint32_t n_ant = get_u32_le(p);
+    const std::uint32_t n_sc = get_u32_le(p + 4);
+    const std::uint64_t n_frames = get_u64_le(p + 8);
+    if (version == kTraceVersion2) {
+        Crc32 crc;
+        crc.update(prefix.data(), prefix.size());
+        crc.update(rest.data(), rest_bytes - 4);
+        const std::uint32_t stored = get_u32_le(p + 16);
+        if (crc.value() != stored) {
+            report_.crc_failures += 1;
+            WIMI_OBS_COUNT("trace.crc_failures", 1);
+            report_.header_ok = false;
+            done_ = true;
+            ensure(!strict, "read_trace: header CRC mismatch");
+            return;
+        }
+    }
+
+    const bool plausible =
+        ((n_ant >= 1 && n_sc >= 1) || n_frames == 0) &&
+        n_ant <= kMaxDimension && n_sc <= kMaxDimension &&
+        n_frames <= kMaxFrames;
+    if (!plausible) {
+        report_.header_ok = false;
+        done_ = true;
+        ensure(!strict, "read_trace: implausible header dimensions");
+        return;
+    }
+
+    report_.antenna_count = n_ant;
+    report_.subcarrier_count = n_sc;
+    report_.frames_declared = n_frames;
+    frame_payload_bytes_ =
+        16 + static_cast<std::size_t>(n_ant) * n_sc * 16;
+    frame_record_bytes_ =
+        frame_payload_bytes_ + (version == kTraceVersion2 ? 4 : 0);
+    buffer_.resize(frame_record_bytes_);
+    if (n_frames == 0) {
+        done_ = true;
+    }
+}
+
+/// Pulls one full frame record into buffer_. Returns false (and finishes
+/// the read, throwing under strict) when the stream ends first.
+bool TraceReader::fill_frame_buffer() {
+    stream_.read(reinterpret_cast<char*>(buffer_.data()),
+                 static_cast<std::streamsize>(frame_record_bytes_));
+    if (stream_.gcount() ==
+        static_cast<std::streamsize>(frame_record_bytes_)) {
+        return true;
+    }
+    // Stream ended before the declared frame count: a torn write or
+    // truncation. A partial record is a damaged frame; a cut exactly at
+    // a record boundary just loses the tail.
+    report_.truncated = true;
+    if (stream_.gcount() > 0) {
+        report_.frames_skipped += 1;
+        WIMI_OBS_COUNT("trace.frames_skipped", 1);
+    }
+    done_ = true;
+    ensure(options_.policy != ReadPolicy::kStrict,
+           "read_trace: truncated stream");
+    return false;
+}
+
+std::optional<CsiFrame> TraceReader::next() {
+    const bool strict = options_.policy == ReadPolicy::kStrict;
+    while (!done_ && frames_consumed_ < report_.frames_declared) {
+        if (!fill_frame_buffer()) {
+            return std::nullopt;
+        }
+        frames_consumed_ += 1;
+
+        if (report_.version == kTraceVersion2) {
+            const std::uint32_t stored =
+                get_u32_le(buffer_.data() + frame_payload_bytes_);
+            if (crc32(buffer_.data(), frame_payload_bytes_) != stored) {
+                report_.crc_failures += 1;
+                report_.frames_skipped += 1;
+                WIMI_OBS_COUNT("trace.crc_failures", 1);
+                WIMI_OBS_COUNT("trace.frames_skipped", 1);
+                ensure(!strict, "read_trace: frame CRC mismatch (frame " +
+                                    std::to_string(frames_consumed_ - 1) +
+                                    ")");
+                if (options_.policy == ReadPolicy::kStopAtCorruption) {
+                    report_.stopped_at_corruption = true;
+                    done_ = true;
+                    return std::nullopt;
+                }
+                continue;  // kSkipCorrupt
+            }
+        }
+
+        CsiFrame frame(report_.antenna_count, report_.subcarrier_count);
+        const unsigned char* p = buffer_.data();
+        frame.timestamp_s = get_f64_le(p);
+        frame.rssi_dbm = get_f64_le(p + 8);
+        p += 16;
+        for (Complex& h : frame.raw()) {
+            h = Complex(get_f64_le(p), get_f64_le(p + 8));
+            p += 16;
+        }
+        if (!frame.is_finite()) {
+            // A v1 bit flip or a writer that serialized garbage: fail
+            // loudly instead of feeding NaN into the pipeline.
+            report_.non_finite_frames += 1;
+            report_.frames_skipped += 1;
+            WIMI_OBS_COUNT("trace.frames_skipped", 1);
+            ensure(!strict,
+                   "read_trace: non-finite CSI values (frame " +
+                       std::to_string(frames_consumed_ - 1) + ")");
+            if (options_.policy == ReadPolicy::kStopAtCorruption) {
+                report_.stopped_at_corruption = true;
+                done_ = true;
+                return std::nullopt;
+            }
+            continue;  // kSkipCorrupt
+        }
+
+        report_.frames_recovered += 1;
+        return frame;
+    }
+    done_ = true;
+    return std::nullopt;
+}
+
+// --- whole-series convenience wrappers ----------------------------------
+
+CsiSeries read_trace(std::istream& stream,
+                     const TraceReadOptions& options,
+                     TraceReadReport* report) {
+    TraceReader reader(stream, options);
+    CsiSeries series;
+    if (reader.frames_declared() > 0) {
+        series.frames.reserve(static_cast<std::size_t>(
+            std::min<std::uint64_t>(reader.frames_declared(), 65536)));
+    }
+    while (auto frame = reader.next()) {
+        series.frames.push_back(std::move(*frame));
+    }
+    series.validate();
+    if (report != nullptr) {
+        *report = reader.report();
     }
     return series;
 }
 
-CsiSeries read_trace_file(const std::filesystem::path& path) {
+CsiSeries read_trace_file(const std::filesystem::path& path,
+                          const TraceReadOptions& options,
+                          TraceReadReport* report) {
     std::ifstream in(path, std::ios::binary);
     ensure(in.is_open(), "read_trace_file: cannot open " + path.string());
-    return read_trace(in);
+    return read_trace(in, options, report);
 }
 
 }  // namespace wimi::csi

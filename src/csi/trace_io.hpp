@@ -1,36 +1,186 @@
-// CSI trace serialization.
+// CSI trace serialization: the WCSI container format.
 //
-// A simple versioned binary container for CsiSeries, playing the role of
-// the .dat trace files the Linux 802.11n CSI Tool produces: examples
-// record simulated captures to disk and replay them through the pipeline,
+// A versioned binary container for CsiSeries, playing the role of the
+// .dat trace files the Linux 802.11n CSI Tool produces: examples record
+// simulated captures to disk and replay them through the pipeline,
 // exercising the same store-then-process workflow as the real system.
+// Receiver-side corruption is the norm on real capture hardware, so the
+// current format (v2) is built to *detect* damage instead of trusting
+// the bytes, and the reader is built to *degrade* instead of aborting.
 //
-// Layout (little-endian):
-//   magic "WCSI" | u32 version | u32 antennas | u32 subcarriers |
-//   u64 frame_count | frames...
-// Each frame: f64 timestamp | f64 rssi | antennas*subcarriers * (f64 re,
-// f64 im).
+// WCSI v2 layout — every multi-byte field explicitly little-endian:
+//
+//   offset  size  field
+//        0     4  magic "WCSI"
+//        4     4  u32 version (= 2)
+//        8     4  u32 byte-order marker 0x01020304
+//       12     4  u32 antenna_count
+//       16     4  u32 subcarrier_count
+//       20     8  u64 frame_count
+//       28     4  u32 header CRC-32 over bytes [0, 28)
+//
+// Each frame is a fixed-size record (16 + 16*antennas*subcarriers + 4
+// bytes): f64 timestamp | f64 rssi | antennas*subcarriers * (f64 re,
+// f64 im) | u32 CRC-32 over the preceding payload bytes of this frame.
+// Doubles are serialized as the little-endian bytes of their IEEE-754
+// bit pattern.
+//
+// WCSI v1 (legacy, still readable and writable): magic | u32 version
+// (= 1) | u32 antennas | u32 subcarriers | u64 frame_count | frames of
+// f64 timestamp | f64 rssi | payload doubles — no byte-order marker and
+// no checksums. v1 files were produced by native raw writes on
+// little-endian hosts, so the explicit little-endian decoder reads them
+// bit-identically.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <iosfwd>
+#include <optional>
+#include <vector>
 
 #include "csi/frame.hpp"
 
 namespace wimi::csi {
 
-/// Writes `series` to `stream`. Throws wimi::Error on inconsistent series
-/// dimensions or stream failure.
-void write_trace(std::ostream& stream, const CsiSeries& series);
+inline constexpr std::uint32_t kTraceVersion1 = 1;
+inline constexpr std::uint32_t kTraceVersion2 = 2;
+/// Version write_trace emits by default.
+inline constexpr std::uint32_t kTraceCurrentVersion = kTraceVersion2;
+
+/// How the reader reacts to corruption (CRC mismatch, non-finite
+/// payload, mid-frame truncation).
+enum class ReadPolicy {
+    /// Throw wimi::Error at the first problem. Default: matches the
+    /// historical reader, right for tests and offline analysis.
+    kStrict,
+    /// Drop damaged frames, keep reading: every intact frame is
+    /// recovered and the report says exactly what was dropped. Right
+    /// for bulk ingestion where one torn write must not sink a capture.
+    kSkipCorrupt,
+    /// Return the clean prefix: reading stops at the first damaged
+    /// frame without throwing. Right when trailing data after damage
+    /// is suspect (e.g. appends to a torn file).
+    kStopAtCorruption,
+};
+
+struct TraceReadOptions {
+    ReadPolicy policy = ReadPolicy::kStrict;
+};
+
+/// What a read actually recovered. All counters are zero and the flags
+/// benign for a pristine trace.
+struct TraceReadReport {
+    std::uint32_t version = 0;
+    std::uint32_t antenna_count = 0;
+    std::uint32_t subcarrier_count = 0;
+    /// Frame count the header promises.
+    std::uint64_t frames_declared = 0;
+    /// Frames decoded and handed to the caller.
+    std::uint64_t frames_recovered = 0;
+    /// Frames present in the stream but dropped (CRC mismatch,
+    /// non-finite values, or cut off mid-record).
+    std::uint64_t frames_skipped = 0;
+    /// CRC mismatches seen (header + frames).
+    std::uint64_t crc_failures = 0;
+    /// Frames whose decoded doubles contained NaN/Inf.
+    std::uint64_t non_finite_frames = 0;
+    /// False when the v2 header checksum failed — dimensions and
+    /// frame count above are then untrustworthy and no frames are read.
+    bool header_ok = true;
+    /// Stream ended before the declared frame count.
+    bool truncated = false;
+    /// kStopAtCorruption hit damage and returned the clean prefix.
+    bool stopped_at_corruption = false;
+
+    /// True iff the trace read back exactly as written.
+    bool clean() const {
+        return header_ok && !truncated && !stopped_at_corruption &&
+               frames_skipped == 0 && crc_failures == 0 &&
+               non_finite_frames == 0 &&
+               frames_recovered == frames_declared;
+    }
+};
+
+struct TraceWriteOptions {
+    /// kTraceVersion2 (checksummed, default) or kTraceVersion1 (legacy).
+    std::uint32_t version = kTraceCurrentVersion;
+};
+
+/// Writes `series` to `stream`. Throws wimi::Error on inconsistent
+/// series dimensions, non-finite values, an unsupported version, or
+/// stream failure.
+void write_trace(std::ostream& stream, const CsiSeries& series,
+                 const TraceWriteOptions& options = {});
 
 /// Writes `series` to `path`, overwriting any existing file.
 void write_trace_file(const std::filesystem::path& path,
-                      const CsiSeries& series);
+                      const CsiSeries& series,
+                      const TraceWriteOptions& options = {});
 
-/// Reads a series from `stream`. Throws wimi::Error on malformed input.
-CsiSeries read_trace(std::istream& stream);
+/// Reads a whole series from `stream` under `options.policy`. Under
+/// kStrict any malformed input throws wimi::Error; under the lenient
+/// policies damaged frames are dropped or reading stops early, and
+/// `report` (when non-null) receives the exact accounting. Every
+/// returned series has passed CsiSeries::validate() and a finite-values
+/// check per frame.
+CsiSeries read_trace(std::istream& stream,
+                     const TraceReadOptions& options = {},
+                     TraceReadReport* report = nullptr);
 
 /// Reads a series from `path`.
-CsiSeries read_trace_file(const std::filesystem::path& path);
+CsiSeries read_trace_file(const std::filesystem::path& path,
+                          const TraceReadOptions& options = {},
+                          TraceReadReport* report = nullptr);
+
+/// Streaming frame-at-a-time reader over an open stream — the chunked
+/// core read_trace() wraps. Ingestion paths that do not want the whole
+/// series in memory pull frames one by one:
+///
+///   TraceReader reader(stream, {ReadPolicy::kSkipCorrupt});
+///   while (auto frame = reader.next()) consume(*frame);
+///   report(reader.report());
+class TraceReader {
+public:
+    /// Parses and validates the header. Under kStrict a malformed
+    /// header throws wimi::Error; under the lenient policies a trace
+    /// whose header fails its checksum or plausibility checks yields
+    /// header_ok() == false and next() returns nullopt immediately.
+    /// A stream that is not a WCSI container at all (bad magic or an
+    /// unknown version) always throws — there is nothing to salvage.
+    explicit TraceReader(std::istream& stream,
+                         TraceReadOptions options = {});
+
+    std::uint32_t version() const { return report_.version; }
+    std::size_t antenna_count() const { return report_.antenna_count; }
+    std::size_t subcarrier_count() const {
+        return report_.subcarrier_count;
+    }
+    std::uint64_t frames_declared() const {
+        return report_.frames_declared;
+    }
+    bool header_ok() const { return report_.header_ok; }
+
+    /// Next intact frame under the policy, or nullopt when the trace is
+    /// exhausted (or reading stopped per policy). Under kStrict throws
+    /// on the first damaged frame.
+    std::optional<CsiFrame> next();
+
+    /// Accounting so far; final once next() has returned nullopt.
+    const TraceReadReport& report() const { return report_; }
+
+private:
+    void read_header();
+    bool fill_frame_buffer();
+
+    std::istream& stream_;
+    TraceReadOptions options_;
+    TraceReadReport report_;
+    std::vector<unsigned char> buffer_;  // one frame record
+    std::size_t frame_payload_bytes_ = 0;
+    std::size_t frame_record_bytes_ = 0;
+    std::uint64_t frames_consumed_ = 0;  // records pulled off the stream
+    bool done_ = false;
+};
 
 }  // namespace wimi::csi

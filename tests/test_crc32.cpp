@@ -1,0 +1,61 @@
+// Tests for the CRC-32 implementation backing WCSI v2 integrity checks.
+#include "common/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace wimi {
+namespace {
+
+TEST(Crc32, MatchesKnownVectors) {
+    // The canonical check value of CRC-32/ISO-HDLC and zlib's crc32().
+    const char* check = "123456789";
+    EXPECT_EQ(crc32(check, std::strlen(check)), 0xCBF43926u);
+    // zlib.crc32(b"WCSI") == 0x9BD42C3D.
+    EXPECT_EQ(crc32("WCSI", 4), 0x9BD42C3Du);
+}
+
+TEST(Crc32, EmptyInputIsZero) {
+    EXPECT_EQ(crc32(nullptr, 0), 0u);
+    Crc32 crc;
+    EXPECT_EQ(crc.value(), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+    const std::string data =
+        "a torn write leaves stale bytes after the seam";
+    for (std::size_t split = 0; split <= data.size(); ++split) {
+        Crc32 crc;
+        crc.update(data.data(), split);
+        crc.update(data.data() + split, data.size() - split);
+        EXPECT_EQ(crc.value(), crc32(data.data(), data.size()))
+            << "split=" << split;
+    }
+}
+
+TEST(Crc32, ResetReturnsToEmptyState) {
+    Crc32 crc;
+    crc.update("garbage", 7);
+    crc.reset();
+    crc.update("123456789", 9);
+    EXPECT_EQ(crc.value(), 0xCBF43926u);
+}
+
+TEST(Crc32, SingleBitChangeAlwaysDetected) {
+    unsigned char block[64];
+    for (std::size_t i = 0; i < sizeof(block); ++i) {
+        block[i] = static_cast<unsigned char>(i * 37 + 11);
+    }
+    const std::uint32_t reference = crc32(block, sizeof(block));
+    for (std::size_t bit = 0; bit < 8 * sizeof(block); ++bit) {
+        block[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+        EXPECT_NE(crc32(block, sizeof(block)), reference)
+            << "bit=" << bit;
+        block[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+    }
+}
+
+}  // namespace
+}  // namespace wimi

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -112,6 +113,37 @@ TEST(CsiSeries, AmplitudeRatioRejectsZeroDenominator) {
     frame.at(1, 0) = Complex(0.0, 0.0);
     series.frames.push_back(frame);
     EXPECT_THROW(series.amplitude_ratio_series(0, 1, 0), Error);
+}
+
+TEST(CsiFrame, IsFiniteChecksEveryStoredValue) {
+    CsiFrame frame(2, 2);
+    frame.at(0, 0) = Complex(1.0, -2.0);
+    EXPECT_TRUE(frame.is_finite());
+    frame.at(1, 1) =
+        Complex(0.0, std::numeric_limits<double>::quiet_NaN());
+    EXPECT_FALSE(frame.is_finite());
+    frame.at(1, 1) = Complex(0.0, 0.0);
+    frame.timestamp_s = std::numeric_limits<double>::infinity();
+    EXPECT_FALSE(frame.is_finite());
+    frame.timestamp_s = 0.0;
+    frame.rssi_dbm = -std::numeric_limits<double>::infinity();
+    EXPECT_FALSE(frame.is_finite());
+}
+
+TEST(CsiSeries, ValidateFiniteNamesTheBadFrame) {
+    CsiSeries series;
+    series.frames.emplace_back(1, 2);
+    series.frames.emplace_back(1, 2);
+    series.validate_finite();
+    series.frames[1].at(0, 1) =
+        Complex(std::numeric_limits<double>::quiet_NaN(), 0.0);
+    try {
+        series.validate_finite();
+        FAIL() << "expected wimi::Error";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("frame 1"),
+                  std::string::npos);
+    }
 }
 
 }  // namespace

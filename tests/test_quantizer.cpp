@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -76,6 +77,26 @@ TEST(Quantizer, StrongestComponentUsesFullRange) {
 
 TEST(Quantizer, ZeroFrameRejected) {
     CsiFrame frame(1, 2);
+    EXPECT_THROW(quantize(frame), Error);
+}
+
+TEST(Quantizer, NonFiniteComponentRejected) {
+    // A NaN would survive the max_component > 0 guard and reach
+    // static_cast<int8_t>(NaN) — UB. Must throw instead.
+    auto frame = random_frame(7);
+    frame.at(1, 3) =
+        Complex(std::numeric_limits<double>::quiet_NaN(), 0.5);
+    EXPECT_THROW(quantize(frame), Error);
+
+    auto inf_frame = random_frame(8);
+    inf_frame.at(0, 0) =
+        Complex(0.5, std::numeric_limits<double>::infinity());
+    EXPECT_THROW(quantize(inf_frame), Error);
+}
+
+TEST(Quantizer, NonFiniteMetadataRejected) {
+    auto frame = random_frame(9);
+    frame.timestamp_s = std::numeric_limits<double>::quiet_NaN();
     EXPECT_THROW(quantize(frame), Error);
 }
 

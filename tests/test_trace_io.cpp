@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <sstream>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -93,6 +96,145 @@ TEST(TraceIo, InconsistentSeriesRejectedOnWrite) {
     series.frames.emplace_back(3, 5);
     std::stringstream buffer;
     EXPECT_THROW(write_trace(buffer, series), Error);
+}
+
+TEST(TraceIo, WritesCurrentVersionByDefault) {
+    const auto series = sample_series(2);
+    std::stringstream buffer;
+    write_trace(buffer, series);
+    TraceReadReport report;
+    read_trace(buffer, {}, &report);
+    EXPECT_EQ(report.version, kTraceVersion2);
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(TraceIo, V1RoundTripStillSupported) {
+    const auto series = sample_series(6);
+    std::stringstream buffer;
+    write_trace(buffer, series, {kTraceVersion1});
+    TraceReadReport report;
+    const auto back = read_trace(buffer, {}, &report);
+    expect_equal(series, back);
+    EXPECT_EQ(report.version, kTraceVersion1);
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(TraceIo, V1ToV2MigrationPreservesEveryBit) {
+    const auto series = sample_series(9);
+    std::stringstream v1;
+    write_trace(v1, series, {kTraceVersion1});
+    const auto from_v1 = read_trace(v1);
+    std::stringstream v2;
+    write_trace(v2, from_v1, {kTraceVersion2});
+    const auto from_v2 = read_trace(v2);
+    expect_equal(series, from_v2);
+}
+
+TEST(TraceIo, EmptySeriesRoundTripBothVersions) {
+    for (const std::uint32_t version : {kTraceVersion1, kTraceVersion2}) {
+        CsiSeries empty;
+        std::stringstream buffer;
+        write_trace(buffer, empty, {version});
+        TraceReadReport report;
+        const auto back = read_trace(buffer, {}, &report);
+        EXPECT_TRUE(back.empty());
+        EXPECT_TRUE(report.clean());
+        EXPECT_EQ(report.version, version);
+    }
+}
+
+TEST(TraceIo, UnsupportedWriteVersionRejected) {
+    std::stringstream buffer;
+    EXPECT_THROW(write_trace(buffer, sample_series(1), {7}), Error);
+}
+
+TEST(TraceIo, NonFiniteSeriesRejectedOnWrite) {
+    auto series = sample_series(3);
+    series.frames[1].at(0, 2) =
+        Complex(std::numeric_limits<double>::quiet_NaN(), 0.0);
+    std::stringstream buffer;
+    EXPECT_THROW(write_trace(buffer, series), Error);
+}
+
+TEST(TraceIo, ByteOrderMarkerChecked) {
+    const auto series = sample_series(2);
+    std::stringstream buffer;
+    write_trace(buffer, series);
+    std::string bytes = buffer.str();
+    bytes[8] = static_cast<char>(bytes[8] ^ 0xFF);  // marker low byte
+    std::stringstream swapped(bytes);
+    EXPECT_THROW(read_trace(swapped), Error);
+}
+
+TEST(TraceIo, StreamingReaderMatchesWholeSeriesRead) {
+    const auto series = sample_series(8);
+    std::stringstream buffer;
+    write_trace(buffer, series);
+    TraceReader reader(buffer);
+    EXPECT_EQ(reader.version(), kTraceVersion2);
+    EXPECT_EQ(reader.antenna_count(), series.antenna_count());
+    EXPECT_EQ(reader.subcarrier_count(), series.subcarrier_count());
+    EXPECT_EQ(reader.frames_declared(), series.packet_count());
+    std::size_t count = 0;
+    while (auto frame = reader.next()) {
+        EXPECT_DOUBLE_EQ(frame->timestamp_s,
+                         series.frames[count].timestamp_s);
+        ++count;
+    }
+    EXPECT_EQ(count, series.packet_count());
+    EXPECT_TRUE(reader.report().clean());
+    EXPECT_FALSE(reader.next().has_value());  // stays exhausted
+}
+
+TEST(TraceIo, StopAtCorruptionReturnsCleanPrefix) {
+    const auto series = sample_series(6);
+    std::stringstream buffer;
+    write_trace(buffer, series);
+    std::string bytes = buffer.str();
+    // Flip a payload bit in frame 3 (header is 32 bytes, record is
+    // 16 + 2*5*16 + 4 = 180 bytes).
+    const std::size_t offset = 32 + 3 * 180 + 10;
+    bytes[offset] = static_cast<char>(bytes[offset] ^ 0x04);
+    std::stringstream damaged(bytes);
+    TraceReadReport report;
+    const auto prefix = read_trace(
+        damaged, {ReadPolicy::kStopAtCorruption}, &report);
+    ASSERT_EQ(prefix.packet_count(), 3u);
+    EXPECT_TRUE(report.stopped_at_corruption);
+    EXPECT_EQ(report.crc_failures, 1u);
+    for (std::size_t p = 0; p < 3; ++p) {
+        EXPECT_DOUBLE_EQ(prefix.frames[p].timestamp_s,
+                         series.frames[p].timestamp_s);
+    }
+}
+
+TEST(TraceIo, SkipCorruptDropsOnlyDamagedFrame) {
+    const auto series = sample_series(6);
+    std::stringstream buffer;
+    write_trace(buffer, series);
+    std::string bytes = buffer.str();
+    const std::size_t offset = 32 + 2 * 180 + 25;
+    bytes[offset] = static_cast<char>(bytes[offset] ^ 0x40);
+    std::stringstream damaged(bytes);
+    TraceReadReport report;
+    const auto back =
+        read_trace(damaged, {ReadPolicy::kSkipCorrupt}, &report);
+    ASSERT_EQ(back.packet_count(), 5u);
+    EXPECT_EQ(report.frames_skipped, 1u);
+    EXPECT_EQ(report.frames_recovered, 5u);
+    EXPECT_FALSE(report.clean());
+}
+
+TEST(TraceIo, ReportCleanOnPristineTrace) {
+    const auto series = sample_series(4);
+    std::stringstream buffer;
+    write_trace(buffer, series);
+    TraceReadReport report;
+    read_trace(buffer, {ReadPolicy::kSkipCorrupt}, &report);
+    EXPECT_TRUE(report.clean());
+    EXPECT_EQ(report.frames_declared, 4u);
+    EXPECT_EQ(report.frames_recovered, 4u);
+    EXPECT_EQ(report.crc_failures, 0u);
 }
 
 }  // namespace

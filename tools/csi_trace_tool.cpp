@@ -5,6 +5,9 @@
 // the command line.
 //
 //   csi_trace_tool info <trace>            header + per-antenna summary
+//   csi_trace_tool verify <trace>          integrity check; exit 0 iff the
+//                                          trace reads back clean (CRC,
+//                                          finite values, no truncation)
 //   csi_trace_tool pdp <trace> [antenna]   averaged power delay profile
 //   csi_trace_tool phase <trace> <sc>      phase-difference stats at a SC
 //   csi_trace_tool generate <trace> [env]  record a simulated capture
@@ -39,12 +42,41 @@ namespace {
 
 using namespace wimi;
 
+/// Prints what a lenient read dropped; returns true when the trace was
+/// damaged in any way.
+bool print_corruption_summary(const csi::TraceReadReport& report) {
+    if (report.clean()) {
+        return false;
+    }
+    std::cout << "  integrity:   DAMAGED\n";
+    if (!report.header_ok) {
+        std::cout << "    header unreadable (checksum or plausibility "
+                     "failure); no frames recovered\n";
+        return true;
+    }
+    std::cout << "    frames declared " << report.frames_declared
+              << ", recovered " << report.frames_recovered << ", skipped "
+              << report.frames_skipped << '\n'
+              << "    CRC failures " << report.crc_failures
+              << ", non-finite frames " << report.non_finite_frames
+              << (report.truncated ? ", stream truncated" : "") << '\n';
+    return true;
+}
+
 int cmd_info(const std::string& path) {
-    const auto series = csi::read_trace_file(path);
+    csi::TraceReadReport report;
+    const auto series = csi::read_trace_file(
+        path, {csi::ReadPolicy::kSkipCorrupt}, &report);
     std::cout << path << ":\n"
+              << "  format:      WCSI v" << report.version
+              << (report.version >= csi::kTraceVersion2
+                      ? " (little-endian, CRC32 header + frames)"
+                      : " (legacy, no checksums)")
+              << '\n'
               << "  packets:     " << series.packet_count() << '\n'
-              << "  antennas:    " << series.antenna_count() << '\n'
-              << "  subcarriers: " << series.subcarrier_count() << '\n';
+              << "  antennas:    " << report.antenna_count << '\n'
+              << "  subcarriers: " << report.subcarrier_count << '\n';
+    print_corruption_summary(report);
     if (series.empty()) {
         return 0;
     }
@@ -66,13 +98,37 @@ int cmd_info(const std::string& path) {
         for (const auto& frame : series.frames) {
             rssi.add(frame.rssi_dbm);
         }
+        // An all-zero antenna has mean amplitude 0; CV would be 0/0.
+        const std::string cv =
+            amplitude.mean() > 0.0
+                ? format_double(amplitude.stddev() / amplitude.mean(), 3)
+                : "n/a";
         table.add_row({std::to_string(a + 1),
-                       format_double(amplitude.mean(), 4),
-                       format_double(amplitude.stddev() / amplitude.mean(),
-                                     3),
+                       format_double(amplitude.mean(), 4), cv,
                        format_double(rssi.mean(), 1) + " dB"});
     }
     table.print(std::cout);
+    return 0;
+}
+
+/// Pre-ingestion integrity gate: exit 0 iff `path` reads back exactly as
+/// written (header checksum, every frame CRC, all values finite, no
+/// truncation). Scripts and benches run `csi_trace_tool verify t.wcsi &&
+/// ...` before feeding a trace to the pipeline.
+int cmd_verify(const std::string& path) {
+    csi::TraceReadReport report;
+    csi::read_trace_file(path, {csi::ReadPolicy::kSkipCorrupt}, &report);
+    std::cout << path << ": WCSI v" << report.version << ", "
+              << report.frames_recovered << "/" << report.frames_declared
+              << " frames intact\n";
+    if (print_corruption_summary(report)) {
+        return 1;
+    }
+    std::cout << "  integrity:   OK"
+              << (report.version < csi::kTraceVersion2
+                      ? " (v1: structural checks only, no checksums)"
+                      : "")
+              << '\n';
     return 0;
 }
 
@@ -84,8 +140,11 @@ int cmd_pdp(const std::string& path, std::size_t antenna) {
     std::cout << "Averaged power delay profile, antenna " << antenna + 1
               << " (bin = "
               << format_double(profile.bin_spacing_s * 1e9, 1) << " ns):\n";
-    // ASCII profile over the first 40 bins (~1 us).
-    for (std::size_t i = 0; i < 40; ++i) {
+    // ASCII profile over the first 40 bins (~1 us) — fewer when the
+    // profile is shorter.
+    const std::size_t bins =
+        std::min<std::size_t>(40, profile.power.size());
+    for (std::size_t i = 0; i < bins; ++i) {
         const double db = 10.0 * std::log10(profile.power[i] + 1e-12);
         const int bars =
             std::max(0, static_cast<int>((db + 40.0) * (60.0 / 40.0)));
@@ -242,6 +301,7 @@ int cmd_pipeline_profile(const std::string& path,
 int usage() {
     std::cerr << "usage:\n"
               << "  csi_trace_tool info <trace.wcsi>\n"
+              << "  csi_trace_tool verify <trace.wcsi>\n"
               << "  csi_trace_tool pdp <trace.wcsi> [antenna]\n"
               << "  csi_trace_tool phase <trace.wcsi> <subcarrier>\n"
               << "  csi_trace_tool generate <trace.wcsi> [hall|lab|library]\n"
@@ -284,6 +344,9 @@ int main(int argc, char** argv) {
         }
         if (command == "info") {
             return cmd_info(path);
+        }
+        if (command == "verify") {
+            return cmd_verify(path);
         }
         if (command == "pdp") {
             return cmd_pdp(path,
