@@ -12,6 +12,7 @@
 
 int main() {
     using namespace wimi;
+    bench::RunScope run("bench_ablation_design_choices");
     bench::print_header(
         "Ablations", "design choices of this reproduction",
         "(engineering bench; no corresponding paper figure)");

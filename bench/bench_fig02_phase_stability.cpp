@@ -14,6 +14,7 @@
 
 int main() {
     using namespace wimi;
+    bench::RunScope run("bench_fig02_phase_stability");
     bench::print_header(
         "Fig. 2", "raw phase vs antenna-pair phase difference",
         "raw phases uniform over [0, 2*pi); pair differences cluster in an "

@@ -13,6 +13,7 @@
 
 int main() {
     using namespace wimi;
+    bench::RunScope run("bench_fig03_amplitude_noise");
     bench::print_header(
         "Fig. 3", "raw CSI amplitude noise",
         "amplitude series contain outliers beyond the fluctuation region "

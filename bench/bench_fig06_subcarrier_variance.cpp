@@ -13,6 +13,7 @@
 
 int main() {
     using namespace wimi;
+    bench::RunScope run("bench_fig06_subcarrier_variance");
     bench::print_header(
         "Fig. 6", "phase-difference variance per subcarrier (Eq. 7)",
         "variance varies across subcarriers; a handful of 'good' "

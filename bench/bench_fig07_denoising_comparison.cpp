@@ -16,6 +16,7 @@
 
 int main() {
     using namespace wimi;
+    bench::RunScope run("bench_fig07_denoising_comparison");
     bench::print_header(
         "Fig. 7", "amplitude denoising method comparison",
         "the proposed wavelet-correlation denoiser removes outliers and "

@@ -14,6 +14,7 @@
 
 int main() {
     using namespace wimi;
+    bench::RunScope run("bench_fig08_amplitude_ratio_variance");
     bench::print_header(
         "Fig. 8", "amplitude variance: antennas vs ratio",
         "the amplitude ratio between two antennas has much smaller "

@@ -17,6 +17,7 @@
 
 int main() {
     using namespace wimi;
+    bench::RunScope run("bench_fig09_material_features");
     bench::print_header(
         "Fig. 9", "material feature clusters for five liquids",
         "Omega clusters are distinct per liquid (saltwater / vinegar / "

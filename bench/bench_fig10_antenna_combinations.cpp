@@ -13,6 +13,7 @@
 
 int main() {
     using namespace wimi;
+    bench::RunScope run("bench_fig10_antenna_combinations");
     bench::print_header(
         "Fig. 10", "variance per antenna combination",
         "phase-difference and amplitude-ratio variances differ across the "

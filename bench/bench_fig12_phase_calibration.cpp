@@ -14,6 +14,7 @@
 
 int main() {
     using namespace wimi;
+    bench::RunScope run("bench_fig12_phase_calibration");
     bench::print_header(
         "Fig. 12", "phase calibration stages (library environment)",
         "raw phases span [0, 2*pi); antenna differencing compresses the "

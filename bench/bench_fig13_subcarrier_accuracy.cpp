@@ -14,6 +14,7 @@
 
 int main() {
     using namespace wimi;
+    bench::RunScope run("bench_fig13_subcarrier_accuracy");
     bench::print_header(
         "Fig. 13", "accuracy: random vs good subcarriers",
         "good subcarriers clearly beat randomly chosen ones; combining "

@@ -9,6 +9,7 @@
 
 int main() {
     using namespace wimi;
+    bench::RunScope run("bench_fig14_denoising_accuracy");
     bench::print_header(
         "Fig. 14", "accuracy with vs without amplitude denoising",
         "denoised amplitudes identify Pepsi / oil / vinegar / soy / milk "

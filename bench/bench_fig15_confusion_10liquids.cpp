@@ -9,6 +9,7 @@
 
 int main() {
     using namespace wimi;
+    bench::RunScope run("bench_fig15_confusion_10liquids");
     bench::print_header(
         "Fig. 15", "10-liquid confusion matrix (lab environment)",
         "average accuracy ~96%; diagonal 0.92-0.99; largest confusion "

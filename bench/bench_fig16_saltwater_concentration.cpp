@@ -8,6 +8,7 @@
 
 int main() {
     using namespace wimi;
+    bench::RunScope run("bench_fig16_saltwater_concentration");
     bench::print_header(
         "Fig. 16", "saltwater concentration identification",
         "pure water vs saltwater 1.2 / 2.7 / 5.9 g per 100 ml separated "

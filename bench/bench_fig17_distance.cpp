@@ -11,6 +11,7 @@
 
 int main() {
     using namespace wimi;
+    bench::RunScope run("bench_fig17_distance");
     bench::print_header(
         "Fig. 17", "accuracy vs transceiver distance",
         "accuracy falls from ~98% at 1 m to ~87% at 3 m; hall >= lab >= "

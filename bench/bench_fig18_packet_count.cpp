@@ -9,6 +9,7 @@
 
 int main() {
     using namespace wimi;
+    bench::RunScope run("bench_fig18_packet_count");
     bench::print_header(
         "Fig. 18", "accuracy vs packet count",
         "accuracy grows from 3 to 20 packets and saturates between 20 "

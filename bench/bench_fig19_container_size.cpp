@@ -11,6 +11,7 @@
 
 int main() {
     using namespace wimi;
+    bench::RunScope run("bench_fig19_container_size");
     bench::print_header(
         "Fig. 19", "accuracy vs container size",
         "~95-91% from 14.3 cm down to 8.9 cm; clear degradation below "

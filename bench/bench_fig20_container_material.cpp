@@ -12,6 +12,7 @@
 
 int main() {
     using namespace wimi;
+    bench::RunScope run("bench_fig20_container_material");
     bench::print_header(
         "Fig. 20", "accuracy vs container material",
         "glass and plastic beakers give similar accuracy (the baseline "

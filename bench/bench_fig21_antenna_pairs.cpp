@@ -11,6 +11,7 @@
 
 int main() {
     using namespace wimi;
+    bench::RunScope run("bench_fig21_antenna_pairs");
     bench::print_header(
         "Fig. 21", "accuracy per antenna combination",
         "the three pairs give slightly different accuracies; the best "

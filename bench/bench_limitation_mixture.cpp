@@ -18,6 +18,7 @@
 
 int main() {
     using namespace wimi;
+    bench::RunScope run("bench_limitation_mixture");
     bench::print_header(
         "Limitation", "mixtures are mis-assigned to pure classes (Sec. VI)",
         "WiMi cannot identify multi-material targets; this reproduction "

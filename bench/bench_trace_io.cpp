@@ -48,6 +48,7 @@ double seconds_since(
 }  // namespace
 
 int main() {
+    wimi::bench::RunScope run("bench_trace_io");
     const auto series = make_series();
 
     TextTable table({"operation", "format", "MB", "ms/pass", "MB/s"});

@@ -10,6 +10,8 @@
 #include <string_view>
 
 #include "common/table.hpp"
+#include "exec/parallel.hpp"
+#include "obs/run_context.hpp"
 #include "sim/harness.hpp"
 
 namespace wimi::bench {
@@ -21,6 +23,27 @@ inline void print_header(std::string_view figure, std::string_view title,
               << " ===\n";
     std::cout << "Paper reports: " << paper_summary << "\n\n";
 }
+
+/// Run provenance for a bench binary: opens a RunContext named after the
+/// bench and, at scope exit, appends its `wimi.run.v1` manifest to the
+/// run ledger (WIMI_RUN_LEDGER, else ./wimi_runs.jsonl). Declare one at
+/// the top of main():
+///
+///   RunScope run("bench_fig15_confusion_10liquids");
+///   run.context.note("accuracy", accuracy);   // optional annotations
+struct RunScope {
+    obs::RunContext context;
+
+    explicit RunScope(std::string tool, std::uint64_t seed = 7)
+        : context(std::move(tool)) {
+        context.set_seed(seed);
+        context.set_threads(exec::thread_count());
+    }
+    ~RunScope() { context.append_to_default_ledger("wimi_runs.jsonl"); }
+
+    RunScope(const RunScope&) = delete;
+    RunScope& operator=(const RunScope&) = delete;
+};
 
 /// The canonical evaluation experiment of the paper: 10 liquids, 20
 /// repetitions, default deployment. Benches tweak fields as needed.

@@ -6,6 +6,7 @@
 #include "core/amplitude_denoising.hpp"
 #include "core/subcarrier_selection.hpp"
 #include "dsp/stats.hpp"
+#include "obs/obs.hpp"
 
 namespace wimi::core {
 
@@ -23,6 +24,12 @@ std::vector<PairStability> rank_antenna_pairs(const csi::CsiSeries& series) {
         s.mean_phase_variance = dsp::mean(phase_vars);
         const auto amp_report = amplitude_variance_report(series, pair);
         s.mean_amplitude_variance = dsp::mean(amp_report.ratio);
+        // Quality probes: per-pair stability (Sec. III-F). A pair whose
+        // variances drift between runs flags a degrading antenna chain.
+        WIMI_OBS_HISTOGRAM("quality.pair.phase_variance",
+                           s.mean_phase_variance);
+        WIMI_OBS_HISTOGRAM("quality.pair.amplitude_variance",
+                           s.mean_amplitude_variance);
         result.push_back(s);
     }
 
@@ -46,6 +53,7 @@ std::vector<PairStability> rank_antenna_pairs(const csi::CsiSeries& series) {
                      [](const PairStability& a, const PairStability& b) {
                          return a.score < b.score;
                      });
+    WIMI_OBS_GAUGE_SET("quality.pair.best_score", result.front().score);
     return result;
 }
 

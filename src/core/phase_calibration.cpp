@@ -73,6 +73,11 @@ PhaseCalibrationStats phase_calibration_stats(const csi::CsiSeries& series,
     WIMI_OBS_HISTOGRAM("calib.phase.raw_spread_deg", stats.raw_spread_deg);
     WIMI_OBS_HISTOGRAM("calib.phase.diff_spread_deg",
                        stats.diff_spread_deg);
+    // Quality probe: the RMS residual left after calibration (the noise
+    // term of Eq. 6, in degrees). Receiver-side drift inflates this long
+    // before the confusion matrix moves.
+    WIMI_OBS_HISTOGRAM("quality.phase.residual_rms_deg",
+                       rad_to_deg(std::sqrt(stats.diff_variance)));
     return stats;
 }
 

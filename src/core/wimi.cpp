@@ -1,6 +1,9 @@
 #include "core/wimi.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
+#include "common/math.hpp"
 #include "core/antenna_selection.hpp"
 #include "core/subcarrier_selection.hpp"
 #include "ml/knn.hpp"
@@ -50,6 +53,20 @@ void Wimi::calibrate(const csi::CsiSeries& reference) {
     }
     WIMI_OBS_GAUGE_SET("calib.subcarriers_selected",
                        static_cast<double>(subcarriers_.size()));
+    if (WIMI_OBS_ENABLED()) {
+        // Calibration residual over the subcarriers actually in use: the
+        // mean RMS Eq. 7 deviation (degrees) on the first sensing pair.
+        // This is the Fig. 12 sanity figure as one gated number.
+        double rms_sum = 0.0;
+        for (const std::size_t sc : subcarriers_) {
+            rms_sum += std::sqrt(
+                phase_difference_variance(reference, pairs_.front(), sc));
+        }
+        WIMI_OBS_GAUGE_SET(
+            "quality.calib.residual_deg",
+            rad_to_deg(rms_sum /
+                       static_cast<double>(subcarriers_.size())));
+    }
 }
 
 std::vector<double> Wimi::features(const csi::CsiSeries& baseline,

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "csi/quality.hpp"
 #include "csi/quantizer.hpp"
 #include "obs/obs.hpp"
 
@@ -88,6 +89,7 @@ CsiSeries CaptureSimulator::capture(
         }
         WIMI_OBS_GAUGE_SET("csi.capture.mean_rssi_dbm",
                            mean_rssi / static_cast<double>(packet_count));
+        record_signal_quality(series);
     }
     return series;
 }

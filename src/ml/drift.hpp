@@ -1,0 +1,56 @@
+// Feature-vector drift detection via the population stability index.
+//
+// A reference feature distribution (per-feature decile bins captured
+// from a known-good run) is stored on disk; later runs bin their own
+// feature vectors against it and report PSI — sum over bins of
+// (p_cur - p_ref) * ln(p_cur / p_ref), averaged across features. The
+// conventional reading: < 0.1 stable, 0.1–0.25 moderate shift, > 0.25
+// the population has moved. A drifting simulator, a broken
+// pre-processing stage, or a receiver-side change all move the feature
+// distribution before they move accuracy, so the harness publishes PSI
+// as a gauge and `wimi_regress` gates it like any other metric.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace wimi::ml {
+
+/// Stored reference distribution: per-feature bin edges (interior
+/// quantile cuts of the reference sample) and per-feature reference
+/// proportions (edges.size() + 1 bins, summing to 1).
+struct PsiReference {
+    std::vector<std::vector<double>> edges;        ///< per feature
+    std::vector<std::vector<double>> proportions;  ///< per feature
+    std::size_t sample_count = 0;  ///< rows the reference was built from
+
+    std::size_t feature_count() const { return edges.size(); }
+};
+
+/// Builds a reference with `bins` quantile bins per feature. Requires a
+/// non-empty dataset and bins >= 2.
+PsiReference make_psi_reference(const Dataset& data, std::size_t bins = 10);
+
+/// PSI of each feature of `data` against the reference. Requires
+/// matching feature counts and a non-empty dataset. Bin proportions are
+/// floored at a small epsilon so empty bins do not produce infinities.
+std::vector<double> psi_per_feature(const PsiReference& ref,
+                                    const Dataset& data);
+
+/// Mean PSI across features — the one-number drift score.
+double population_stability_index(const PsiReference& ref,
+                                  const Dataset& data);
+
+/// Serialization (`wimi.psi_ref.v1` JSON).
+std::string psi_reference_to_json(const PsiReference& ref);
+PsiReference psi_reference_from_json(std::string_view text);
+
+/// File round-trip. Throws wimi::Error on I/O or parse failure.
+void save_psi_reference(const std::string& path, const PsiReference& ref);
+PsiReference load_psi_reference(const std::string& path);
+
+}  // namespace wimi::ml

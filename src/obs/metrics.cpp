@@ -62,6 +62,13 @@ Histogram::Histogram(std::vector<double> upper_edges)
 }
 
 void Histogram::record(double value) noexcept {
+    if (!std::isfinite(value)) {
+        // Quarantine NaN/Inf: lower_bound's comparisons are meaningless
+        // for NaN and one Inf would pin sum/min/max forever. The sample
+        // still surfaces in the summary's `nonfinite` field.
+        nonfinite_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
     const auto it =
         std::lower_bound(edges_.begin(), edges_.end(), value);
     const std::size_t bucket =
@@ -76,6 +83,7 @@ void Histogram::record(double value) noexcept {
 HistogramSummary Histogram::summary() const {
     HistogramSummary s;
     s.count = count_.load(std::memory_order_relaxed);
+    s.nonfinite = nonfinite_.load(std::memory_order_relaxed);
     if (s.count == 0) {
         return s;
     }
@@ -121,6 +129,7 @@ void Histogram::reset() noexcept {
         buckets_[i].store(0, std::memory_order_relaxed);
     }
     count_.store(0, std::memory_order_relaxed);
+    nonfinite_.store(0, std::memory_order_relaxed);
     sum_.store(0.0, std::memory_order_relaxed);
     min_.store(std::numeric_limits<double>::infinity(),
                std::memory_order_relaxed);

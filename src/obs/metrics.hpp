@@ -66,7 +66,8 @@ private:
 
 /// Point-in-time digest of one histogram.
 struct HistogramSummary {
-    std::uint64_t count = 0;
+    std::uint64_t count = 0;      ///< finite observations only
+    std::uint64_t nonfinite = 0;  ///< NaN/Inf observations (not in stats)
     double sum = 0.0;
     double min = 0.0;
     double max = 0.0;
@@ -92,11 +93,20 @@ public:
     explicit Histogram(std::vector<double> upper_edges =
                            default_bucket_edges());
 
-    /// Records one observation. Thread-safe, lock-free.
+    /// Records one observation. Thread-safe, lock-free. Non-finite values
+    /// (NaN/Inf) are counted separately and kept out of the buckets and
+    /// the min/max/sum stats, so one poisoned sample cannot silently turn
+    /// every downstream aggregate into NaN — the report shows them in the
+    /// summary's `nonfinite` field instead.
     void record(double value) noexcept;
 
     std::uint64_t count() const noexcept {
         return count_.load(std::memory_order_relaxed);
+    }
+
+    /// Number of NaN/Inf observations rejected from the stats.
+    std::uint64_t nonfinite_count() const noexcept {
+        return nonfinite_.load(std::memory_order_relaxed);
     }
 
     HistogramSummary summary() const;
@@ -112,6 +122,7 @@ private:
     std::vector<double> edges_;  // ascending upper edges
     std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // edges+1
     std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> nonfinite_{0};
     std::atomic<double> sum_{0.0};
     std::atomic<double> min_{0.0};
     std::atomic<double> max_{0.0};

@@ -1,0 +1,452 @@
+#include "obs/regress.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace wimi::obs::regress {
+namespace {
+
+std::string kind_name(ToleranceKind kind) {
+    switch (kind) {
+        case ToleranceKind::kAbs:
+            return "abs";
+        case ToleranceKind::kRel:
+            return "rel";
+        case ToleranceKind::kRatio:
+            return "ratio";
+        case ToleranceKind::kIgnore:
+            return "ignore";
+    }
+    return "?";
+}
+
+std::string direction_name(Direction direction) {
+    switch (direction) {
+        case Direction::kBoth:
+            return "both";
+        case Direction::kHigherBetter:
+            return "higher_better";
+        case Direction::kLowerBetter:
+            return "lower_better";
+    }
+    return "?";
+}
+
+ToleranceKind parse_kind(std::string_view text) {
+    if (text == "abs") {
+        return ToleranceKind::kAbs;
+    }
+    if (text == "rel") {
+        return ToleranceKind::kRel;
+    }
+    if (text == "ratio") {
+        return ToleranceKind::kRatio;
+    }
+    if (text == "ignore") {
+        return ToleranceKind::kIgnore;
+    }
+    fail("tolerance rules: unknown kind '" + std::string(text) +
+         "' (use abs | rel | ratio | ignore)");
+}
+
+Direction parse_direction(std::string_view text) {
+    if (text == "both") {
+        return Direction::kBoth;
+    }
+    if (text == "higher_better") {
+        return Direction::kHigherBetter;
+    }
+    if (text == "lower_better") {
+        return Direction::kLowerBetter;
+    }
+    fail("tolerance rules: unknown direction '" + std::string(text) +
+         "' (use both | higher_better | lower_better)");
+}
+
+Rule parse_rule(const json::Value& v, bool require_match) {
+    ensure(v.is_object(), "tolerance rules: each rule must be an object");
+    Rule rule;
+    if (const json::Value* match = v.find("match")) {
+        ensure(match->is_string(), "tolerance rules: match must be a string");
+        rule.pattern = match->string;
+    } else {
+        ensure(!require_match, "tolerance rules: rule missing \"match\"");
+    }
+    if (const json::Value* kind = v.find("kind")) {
+        ensure(kind->is_string(), "tolerance rules: kind must be a string");
+        rule.kind = parse_kind(kind->string);
+    }
+    if (const json::Value* value = v.find("value")) {
+        ensure(value->is_number(),
+               "tolerance rules: value must be a number");
+        rule.value = value->num;
+    }
+    if (const json::Value* dir = v.find("direction")) {
+        ensure(dir->is_string(),
+               "tolerance rules: direction must be a string");
+        rule.direction = parse_direction(dir->string);
+    }
+    if (rule.kind == ToleranceKind::kRatio) {
+        ensure(rule.value >= 1.0,
+               "tolerance rules: ratio value must be >= 1");
+    } else if (rule.kind != ToleranceKind::kIgnore) {
+        ensure(rule.value >= 0.0,
+               "tolerance rules: tolerance must be >= 0");
+    }
+    return rule;
+}
+
+void flatten_into(const json::Value& v, const std::string& prefix,
+                  std::vector<Leaf>& out) {
+    switch (v.kind) {
+        case json::Value::Kind::kObject:
+            for (const auto& [key, member] : v.object) {
+                flatten_into(member,
+                             prefix.empty() ? key : prefix + '.' + key,
+                             out);
+            }
+            return;
+        case json::Value::Kind::kArray:
+            for (std::size_t i = 0; i < v.array.size(); ++i) {
+                flatten_into(v.array[i], prefix + '.' + std::to_string(i),
+                             out);
+            }
+            return;
+        case json::Value::Kind::kNumber:
+            out.push_back({prefix, v.num, "", false, false});
+            return;
+        case json::Value::Kind::kBool:
+            out.push_back({prefix, v.boolean ? 1.0 : 0.0, "", false, false});
+            return;
+        case json::Value::Kind::kString:
+            out.push_back({prefix, 0.0, v.string, false, true});
+            return;
+        case json::Value::Kind::kNull:
+            out.push_back({prefix, 0.0, "", true, false});
+            return;
+    }
+}
+
+/// Decides ok/improved/regressed for two finite numbers under `rule`.
+MetricStatus judge(double baseline, double current, const Rule& rule) {
+    // The tolerance band, expressed as the allowed |cur - base|. For
+    // ratio rules the band is asymmetric, so handle it by bounds instead.
+    double low = baseline;   // smallest acceptable current
+    double high = baseline;  // largest acceptable current
+    switch (rule.kind) {
+        case ToleranceKind::kAbs:
+            low = baseline - rule.value;
+            high = baseline + rule.value;
+            break;
+        case ToleranceKind::kRel: {
+            const double band = rule.value * std::fabs(baseline);
+            low = baseline - band;
+            high = baseline + band;
+            break;
+        }
+        case ToleranceKind::kRatio:
+            // value >= 1; a zero baseline collapses to exact match.
+            if (baseline >= 0.0) {
+                low = baseline / rule.value;
+                high = baseline * rule.value;
+            } else {
+                low = baseline * rule.value;
+                high = baseline / rule.value;
+            }
+            break;
+        case ToleranceKind::kIgnore:
+            return MetricStatus::kIgnored;
+    }
+    const bool below = current < low;
+    const bool above = current > high;
+    if (!below && !above) {
+        return MetricStatus::kOk;
+    }
+    switch (rule.direction) {
+        case Direction::kBoth:
+            return MetricStatus::kRegressed;
+        case Direction::kHigherBetter:
+            return below ? MetricStatus::kRegressed
+                         : MetricStatus::kImproved;
+        case Direction::kLowerBetter:
+            return above ? MetricStatus::kRegressed
+                         : MetricStatus::kImproved;
+    }
+    return MetricStatus::kRegressed;
+}
+
+std::string status_name(MetricStatus status) {
+    switch (status) {
+        case MetricStatus::kOk:
+            return "ok";
+        case MetricStatus::kImproved:
+            return "improved";
+        case MetricStatus::kRegressed:
+            return "REGRESSED";
+        case MetricStatus::kMissing:
+            return "MISSING";
+        case MetricStatus::kAdded:
+            return "added";
+        case MetricStatus::kIgnored:
+            return "ignored";
+    }
+    return "?";
+}
+
+std::string leaf_repr(double num, bool is_null) {
+    if (is_null) {
+        return "null";
+    }
+    return json::number(num);
+}
+
+}  // namespace
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+    // Iterative '*' glob: on mismatch, backtrack to the last star and
+    // consume one more text character.
+    std::size_t p = 0;
+    std::size_t t = 0;
+    std::size_t star = std::string_view::npos;
+    std::size_t star_t = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == text[t] || pattern[p] == '?')) {
+            ++p;
+            ++t;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            star_t = t;
+        } else if (star != std::string_view::npos) {
+            p = star + 1;
+            t = ++star_t;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*') {
+        ++p;
+    }
+    return p == pattern.size();
+}
+
+const Rule& RuleSet::match(std::string_view metric) const {
+    for (const Rule& rule : rules) {
+        if (glob_match(rule.pattern, metric)) {
+            return rule;
+        }
+    }
+    return fallback;
+}
+
+RuleSet RuleSet::parse(const json::Value& doc) {
+    ensure(doc.is_object(), "tolerance rules: document must be an object");
+    if (const json::Value* schema = doc.find("schema")) {
+        ensure(schema->is_string() &&
+                   schema->string == "wimi.tolerance.v1",
+               "tolerance rules: expected schema wimi.tolerance.v1");
+    }
+    RuleSet set;
+    if (const json::Value* fallback = doc.find("default")) {
+        set.fallback = parse_rule(*fallback, /*require_match=*/false);
+    }
+    if (const json::Value* rules = doc.find("rules")) {
+        ensure(rules->is_array(), "tolerance rules: rules must be an array");
+        set.rules.reserve(rules->array.size());
+        for (const json::Value& rule : rules->array) {
+            set.rules.push_back(parse_rule(rule, /*require_match=*/true));
+        }
+    }
+    return set;
+}
+
+RuleSet RuleSet::parse_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    ensure(in.good(), "tolerance rules: cannot open " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parse(json::parse(buffer.str()));
+}
+
+std::vector<Leaf> flatten(const json::Value& doc) {
+    std::vector<Leaf> out;
+    flatten_into(doc, "", out);
+    return out;
+}
+
+DiffReport diff(const json::Value& baseline, const json::Value& current,
+                const RuleSet& rules) {
+    const json::Value* base_schema = baseline.find("schema");
+    const json::Value* cur_schema = current.find("schema");
+    if (base_schema != nullptr && cur_schema != nullptr) {
+        ensure(base_schema->string == cur_schema->string,
+               "regress: schema mismatch (baseline '" +
+                   base_schema->string + "' vs candidate '" +
+                   cur_schema->string + "')");
+    }
+
+    const std::vector<Leaf> base_leaves = flatten(baseline);
+    const std::vector<Leaf> cur_leaves = flatten(current);
+    std::unordered_map<std::string_view, const Leaf*> cur_index;
+    cur_index.reserve(cur_leaves.size());
+    for (const Leaf& leaf : cur_leaves) {
+        cur_index.emplace(leaf.path, &leaf);
+    }
+
+    DiffReport report;
+    report.metrics.reserve(base_leaves.size());
+    for (const Leaf& base : base_leaves) {
+        MetricDiff d;
+        d.name = base.path;
+        d.rule = rules.match(base.path);
+        d.baseline = base.num;
+        d.baseline_null = base.is_null;
+
+        const auto it = cur_index.find(base.path);
+        if (d.rule.kind == ToleranceKind::kIgnore) {
+            d.status = MetricStatus::kIgnored;
+        } else if (it == cur_index.end()) {
+            d.status = MetricStatus::kMissing;
+        } else {
+            const Leaf& cur = *it->second;
+            d.current = cur.num;
+            d.current_null = cur.is_null;
+            if (base.is_string || cur.is_string) {
+                // String leaves: equality or bust (schema tags, names).
+                d.status = (base.is_string && cur.is_string &&
+                            base.text == cur.text)
+                               ? MetricStatus::kOk
+                               : MetricStatus::kRegressed;
+            } else if (base.is_null || cur.is_null) {
+                // A metric decaying to null (NaN at record time) — or
+                // recovering from one — is a structural change, not a
+                // numeric drift; only null==null passes.
+                d.status = (base.is_null && cur.is_null)
+                               ? MetricStatus::kOk
+                               : MetricStatus::kRegressed;
+            } else {
+                d.status = judge(base.num, cur.num, d.rule);
+            }
+        }
+        report.metrics.push_back(std::move(d));
+    }
+    std::unordered_map<std::string_view, bool> base_index;
+    base_index.reserve(base_leaves.size());
+    for (const Leaf& base : base_leaves) {
+        base_index.emplace(base.path, true);
+    }
+    for (const Leaf& cur : cur_leaves) {
+        if (base_index.find(cur.path) == base_index.end()) {
+            MetricDiff d;
+            d.name = cur.path;
+            d.rule = rules.match(cur.path);
+            d.current = cur.num;
+            d.current_null = cur.is_null;
+            d.status = d.rule.kind == ToleranceKind::kIgnore
+                           ? MetricStatus::kIgnored
+                           : MetricStatus::kAdded;
+            report.metrics.push_back(std::move(d));
+        }
+    }
+
+    for (const MetricDiff& d : report.metrics) {
+        switch (d.status) {
+            case MetricStatus::kOk:
+                ++report.ok;
+                break;
+            case MetricStatus::kImproved:
+                ++report.improved;
+                break;
+            case MetricStatus::kRegressed:
+                ++report.regressed;
+                break;
+            case MetricStatus::kMissing:
+                ++report.missing;
+                break;
+            case MetricStatus::kAdded:
+                ++report.added;
+                break;
+            case MetricStatus::kIgnored:
+                ++report.ignored;
+                break;
+        }
+    }
+    return report;
+}
+
+void print_table(const DiffReport& report, std::ostream& out,
+                 bool only_flagged) {
+    TextTable table({"metric", "baseline", "current", "rule", "status"});
+    for (const MetricDiff& d : report.metrics) {
+        if (only_flagged && (d.status == MetricStatus::kOk ||
+                             d.status == MetricStatus::kIgnored)) {
+            continue;
+        }
+        std::string rule = kind_name(d.rule.kind);
+        if (d.rule.kind != ToleranceKind::kIgnore) {
+            rule += ' ' + json::number(d.rule.value);
+            if (d.rule.direction != Direction::kBoth) {
+                rule += ' ' + direction_name(d.rule.direction);
+            }
+        }
+        table.add_row({d.name, leaf_repr(d.baseline, d.baseline_null),
+                       d.status == MetricStatus::kMissing
+                           ? "(missing)"
+                           : leaf_repr(d.current, d.current_null),
+                       rule, status_name(d.status)});
+    }
+    if (table.row_count() > 0) {
+        table.print(out);
+    }
+    out << (report.passed() ? "PASS" : "FAIL") << ": "
+        << report.ok << " ok, " << report.improved << " improved, "
+        << report.regressed << " regressed, " << report.missing
+        << " missing, " << report.added << " added, " << report.ignored
+        << " ignored\n";
+}
+
+std::string verdict_json(const DiffReport& report) {
+    std::string out = "{\"schema\":\"wimi.regress.v1\",\"verdict\":\"";
+    out += report.passed() ? "pass" : "fail";
+    out += "\",\"ok\":" + std::to_string(report.ok);
+    out += ",\"improved\":" + std::to_string(report.improved);
+    out += ",\"regressed\":" + std::to_string(report.regressed);
+    out += ",\"missing\":" + std::to_string(report.missing);
+    out += ",\"added\":" + std::to_string(report.added);
+    out += ",\"ignored\":" + std::to_string(report.ignored);
+    out += ",\"failures\":[";
+    bool first = true;
+    for (const MetricDiff& d : report.metrics) {
+        if (d.status != MetricStatus::kRegressed &&
+            d.status != MetricStatus::kMissing) {
+            continue;
+        }
+        if (!first) {
+            out += ',';
+        }
+        first = false;
+        out += "{\"metric\":\"" + json::escape(d.name) + "\",\"status\":\"";
+        out += d.status == MetricStatus::kMissing ? "missing" : "regressed";
+        out += "\",\"baseline\":";
+        out += d.baseline_null ? "null" : json::number(d.baseline);
+        out += ",\"current\":";
+        out += d.status == MetricStatus::kMissing
+                   ? "null"
+                   : (d.current_null ? "null" : json::number(d.current));
+        out += ",\"kind\":\"" + kind_name(d.rule.kind);
+        out += "\",\"tolerance\":" + json::number(d.rule.value);
+        out += ",\"direction\":\"" + direction_name(d.rule.direction);
+        out += "\"}";
+    }
+    out += "]}";
+    return out;
+}
+
+}  // namespace wimi::obs::regress

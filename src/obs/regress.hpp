@@ -1,0 +1,125 @@
+// Structural diff of machine-readable reports under tolerance rules —
+// the library behind the `wimi_regress` CLI and the `regress` ctest gate.
+//
+// Both inputs are JSON documents of the same schema (`wimi.metrics.v1`,
+// `wimi.run.v1`, or any of the bench report schemas). Each document is
+// flattened into dotted numeric paths ("counters.csi.captures",
+// "histograms.svm.train.passes.p50", "widths.0.total_s"), then every
+// baseline path is compared against the candidate under the first
+// matching tolerance rule:
+//
+//   kind      abs   |cur - base| <= value
+//             rel   |cur - base| <= value * |base|
+//             ratio max(cur/base, base/cur) <= value   (value >= 1)
+//             ignore  path excluded from the verdict
+//   direction both          any drift beyond tolerance regresses
+//             higher_better only a drop regresses (throughput, accuracy);
+//                           a rise beyond tolerance counts as improved
+//             lower_better  only a rise regresses (latency, error counts)
+//
+// A baseline path missing from the candidate is a regression (a silently
+// vanished metric is exactly the failure mode the gate exists to catch);
+// candidate-only paths are reported as additions but do not fail. String
+// leaves must match exactly unless ignored. The rule file format
+// (`wimi.tolerance.v1`) is specified in DESIGN.md §7.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace wimi::obs::regress {
+
+enum class ToleranceKind { kAbs, kRel, kRatio, kIgnore };
+enum class Direction { kBoth, kHigherBetter, kLowerBetter };
+
+/// One tolerance rule; `pattern` is a glob where '*' matches any run of
+/// characters (including '.').
+struct Rule {
+    std::string pattern = "*";
+    ToleranceKind kind = ToleranceKind::kRel;
+    double value = 0.0;  ///< tolerance; 0 = exact match required
+    Direction direction = Direction::kBoth;
+};
+
+/// Ordered rule list with a fallback; first matching rule wins.
+struct RuleSet {
+    Rule fallback;  ///< applied when nothing matches (default: exact)
+    std::vector<Rule> rules;
+
+    const Rule& match(std::string_view metric) const;
+
+    /// Parses a `wimi.tolerance.v1` document. Throws wimi::Error on
+    /// malformed input.
+    static RuleSet parse(const json::Value& doc);
+    static RuleSet parse_file(const std::string& path);
+};
+
+/// True when `pattern` (with '*' wildcards) matches all of `text`.
+bool glob_match(std::string_view pattern, std::string_view text);
+
+/// One flattened leaf of a report document.
+struct Leaf {
+    std::string path;
+    double num = 0.0;
+    std::string text;        ///< string leaves (num unused)
+    bool is_null = false;    ///< JSON null (num unused)
+    bool is_string = false;
+};
+
+/// Flattens numeric / null / bool / string leaves into dotted paths.
+/// Bools become 0/1 numerics; array elements use their index as the key.
+std::vector<Leaf> flatten(const json::Value& doc);
+
+enum class MetricStatus {
+    kOk,        ///< within tolerance
+    kImproved,  ///< beyond tolerance in the better direction
+    kRegressed, ///< beyond tolerance in the worse direction
+    kMissing,   ///< in baseline, absent from candidate (fails the gate)
+    kAdded,     ///< in candidate only (informational)
+    kIgnored,   ///< excluded by an ignore rule
+};
+
+/// Per-metric comparison outcome.
+struct MetricDiff {
+    std::string name;
+    MetricStatus status = MetricStatus::kOk;
+    double baseline = 0.0;
+    double current = 0.0;
+    bool baseline_null = false;
+    bool current_null = false;
+    Rule rule;  ///< the rule that decided this metric
+};
+
+/// Whole-comparison outcome.
+struct DiffReport {
+    std::vector<MetricDiff> metrics;  ///< baseline order, additions last
+    std::size_t ok = 0;
+    std::size_t improved = 0;
+    std::size_t regressed = 0;
+    std::size_t missing = 0;
+    std::size_t added = 0;
+    std::size_t ignored = 0;
+
+    /// The gate: no regressions and no vanished metrics.
+    bool passed() const { return regressed == 0 && missing == 0; }
+};
+
+/// Compares `current` against `baseline` under `rules`. Throws
+/// wimi::Error when the documents declare different "schema" strings.
+DiffReport diff(const json::Value& baseline, const json::Value& current,
+                const RuleSet& rules);
+
+/// Human-readable table of the comparison. With `only_flagged`, rows
+/// with status kOk/kIgnored are summarized instead of listed.
+void print_table(const DiffReport& report, std::ostream& out,
+                 bool only_flagged = true);
+
+/// Machine-readable verdict (`wimi.regress.v1`).
+std::string verdict_json(const DiffReport& report);
+
+}  // namespace wimi::obs::regress

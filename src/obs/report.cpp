@@ -24,6 +24,7 @@ void append_member(std::string& out, bool& first, std::string_view name,
 std::string summary_json(const HistogramSummary& s) {
     std::string out = "{\"count\":";
     out += std::to_string(s.count);
+    out += ",\"nonfinite\":" + std::to_string(s.nonfinite);
     out += ",\"sum\":" + json::number(s.sum);
     out += ",\"min\":" + json::number(s.min);
     out += ",\"max\":" + json::number(s.max);

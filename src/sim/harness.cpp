@@ -1,13 +1,18 @@
 #include "sim/harness.hpp"
 
+#include <algorithm>
+#include <sstream>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "dsp/stats.hpp"
 #include "exec/parallel.hpp"
+#include "ml/drift.hpp"
 #include "ml/knn.hpp"
 #include "ml/scaler.hpp"
 #include "ml/svm.hpp"
 #include "obs/obs.hpp"
+#include "obs/run_context.hpp"
 #include "rf/environment.hpp"
 
 namespace wimi::sim {
@@ -67,6 +72,53 @@ double mean_feature_variance(const ml::Dataset& data) {
 }
 
 }  // namespace
+
+std::string serialize_config(const ExperimentConfig& config) {
+    // Order and formatting are part of the digest contract: append-only,
+    // never reorder, so a given experimental setup keeps its digest
+    // across library versions unless a result-affecting field changes.
+    std::ostringstream out;
+    out.precision(17);
+    const ScenarioConfig& sc = config.scenario;
+    out << "env=" << rf::environment_name(sc.environment)
+        << ";dist=" << sc.link_distance_m
+        << ";beaker=" << sc.beaker_diameter_m
+        << ";container=" << static_cast<int>(sc.container)
+        << ";kappa=" << sc.effective_path_fraction
+        << ";packets=" << sc.packets
+        << ";env_seed=" << sc.environment_seed
+        << ";quantize=" << (sc.quantize_csi ? 1 : 0);
+    const csi::ImpairmentConfig& imp = sc.impairments;
+    out << ";imp=" << (imp.random_cfo ? 1 : 0) << ','
+        << imp.timing_error_std_s << ',' << imp.phase_noise_std_rad << ','
+        << imp.noise_floor_dbc << ',' << imp.agc_jitter_db << ','
+        << imp.outlier_probability << ',' << imp.outlier_gain_lo << ','
+        << imp.outlier_gain_hi << ',' << imp.impulse_probability << ','
+        << imp.impulse_relative_magnitude << ','
+        << imp.static_gain_spread_db << ',' << imp.static_phase_spread_rad;
+    out << ";liquids=";
+    for (std::size_t i = 0; i < config.liquids.size(); ++i) {
+        out << (i > 0 ? "," : "") << rf::liquid_name(config.liquids[i]);
+    }
+    const core::WimiConfig& wc = config.wimi;
+    out << ";pairs=";
+    for (std::size_t i = 0; i < wc.pairs.size(); ++i) {
+        out << (i > 0 ? "," : "") << wc.pairs[i].first << '-'
+            << wc.pairs[i].second;
+    }
+    out << ";auto_pair=" << (wc.auto_select_pair ? 1 : 0) << ";subcarriers=";
+    for (std::size_t i = 0; i < wc.subcarriers.size(); ++i) {
+        out << (i > 0 ? "," : "") << wc.subcarriers[i];
+    }
+    out << ";good_sc=" << wc.good_subcarrier_count
+        << ";classifier=" << static_cast<int>(wc.classifier)
+        << ";svm_c=" << wc.svm.c << ";svm_gamma=" << wc.svm.gamma
+        << ";knn_k=" << wc.knn_k << ";reps=" << config.repetitions
+        << ";folds=" << config.cv_folds
+        << ";jitter=" << config.position_jitter_m
+        << ";seed=" << config.seed;
+    return out.str();
+}
 
 core::Wimi make_calibrated_wimi(const ExperimentConfig& config) {
     const Scenario scenario(config.scenario);
@@ -140,6 +192,22 @@ ml::Dataset build_feature_dataset(const ExperimentConfig& config,
             std::string(
                 rf::environment_name(config.scenario.environment));
         WIMI_OBS_GAUGE_SET(gauge_name, mean_feature_variance(data));
+        if (!config.psi_reference_path.empty()) {
+            // Drift vs the stored reference run: publishes the mean and
+            // worst-feature PSI so wimi_regress can gate them.
+            const ml::PsiReference ref =
+                ml::load_psi_reference(config.psi_reference_path);
+            const std::vector<double> psi = ml::psi_per_feature(ref, data);
+            double sum = 0.0;
+            double worst = 0.0;
+            for (const double v : psi) {
+                sum += v;
+                worst = std::max(worst, v);
+            }
+            WIMI_OBS_GAUGE_SET("quality.feature.psi",
+                               sum / static_cast<double>(psi.size()));
+            WIMI_OBS_GAUGE_SET("quality.feature.psi_max", worst);
+        }
     }
     return data;
 }
@@ -166,6 +234,11 @@ ExperimentResult evaluate_dataset(const ml::Dataset& data,
 ExperimentResult run_identification_experiment(
     const ExperimentConfig& config) {
     WIMI_TRACE_SPAN("harness.experiment");
+    obs::RunContext run("sim.harness");
+    run.set_seed(config.seed);
+    run.set_threads(config.threads);
+    run.set_config(serialize_config(config));
+
     const core::Wimi wimi = make_calibrated_wimi(config);
     const ml::Dataset data = build_feature_dataset(config, wimi);
 
@@ -174,7 +247,15 @@ ExperimentResult run_identification_experiment(
     for (const rf::Liquid liquid : config.liquids) {
         names.emplace_back(rf::liquid_name(liquid));
     }
-    return evaluate_dataset(data, config, std::move(names));
+    ExperimentResult result =
+        evaluate_dataset(data, config, std::move(names));
+
+    run.note("environment",
+             std::string(rf::environment_name(config.scenario.environment)));
+    run.note("accuracy", result.accuracy);
+    run.note("mean_recall", result.mean_recall);
+    run.append_to_default_ledger(config.run_ledger_path);
+    return result;
 }
 
 }  // namespace wimi::sim

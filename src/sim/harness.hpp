@@ -32,6 +32,14 @@ struct ExperimentConfig {
     /// (0 = exec pool default / WIMI_THREADS, 1 = serial legacy path).
     /// Results are bit-identical at every width.
     std::size_t threads = 0;
+    /// When non-empty, build_feature_dataset loads this `wimi.psi_ref.v1`
+    /// reference and publishes the dataset's population-stability index
+    /// as the quality.feature.psi gauge (drift vs the stored run).
+    std::string psi_reference_path;
+    /// When non-empty, run_identification_experiment appends a
+    /// `wimi.run.v1` manifest here (JSON lines). WIMI_RUN_LEDGER
+    /// overrides; empty + no env var = no ledger write.
+    std::string run_ledger_path;
 };
 
 /// Outcome of one identification experiment.
@@ -41,6 +49,12 @@ struct ExperimentResult {
     double mean_recall = 0.0;   ///< the paper's "average accuracy"
     std::vector<std::string> class_names;
 };
+
+/// Stable serialization of every result-affecting field of `config`
+/// (threads excluded: results are width-invariant). Its CRC-32 is the
+/// `config_digest` in the run manifest — equal digests mean two ledger
+/// entries are directly comparable.
+std::string serialize_config(const ExperimentConfig& config);
 
 /// A calibrated WiMi instance for the experiment's scenario: captures a
 /// reference series and runs Wimi::calibrate on it.

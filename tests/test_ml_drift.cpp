@@ -1,0 +1,141 @@
+// Tests for feature-drift detection via PSI (ml/drift).
+#include "ml/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/dataset.hpp"
+
+namespace wimi::ml {
+namespace {
+
+/// `rows` samples of `features` Gaussian features centered at
+/// `center + f` with the given spread.
+Dataset gaussian_dataset(std::size_t rows, std::size_t features,
+                         double center, double spread, std::uint64_t seed) {
+    Rng rng(seed);
+    Dataset data(features);
+    std::vector<double> x(features);
+    for (std::size_t row = 0; row < rows; ++row) {
+        for (std::size_t f = 0; f < features; ++f) {
+            x[f] = center + static_cast<double>(f) +
+                   rng.gaussian(0.0, spread);
+        }
+        data.add(x, 0);
+    }
+    return data;
+}
+
+TEST(Psi, SelfComparisonIsNearZero) {
+    const Dataset data = gaussian_dataset(500, 3, 0.0, 1.0, 11);
+    const PsiReference ref = make_psi_reference(data);
+    // Same sample against its own deciles: proportions match exactly.
+    EXPECT_NEAR(population_stability_index(ref, data), 0.0, 1e-9);
+}
+
+TEST(Psi, FreshSampleFromSameDistributionStaysStable) {
+    const PsiReference ref =
+        make_psi_reference(gaussian_dataset(2000, 3, 0.0, 1.0, 11));
+    const Dataset fresh = gaussian_dataset(2000, 3, 0.0, 1.0, 99);
+    // Conventional reading: < 0.1 is "no meaningful shift".
+    EXPECT_LT(population_stability_index(ref, fresh), 0.1);
+}
+
+TEST(Psi, ShiftedDistributionCrossesTheAlarmLine) {
+    const PsiReference ref =
+        make_psi_reference(gaussian_dataset(2000, 3, 0.0, 1.0, 11));
+    const Dataset shifted = gaussian_dataset(2000, 3, 2.0, 1.0, 99);
+    EXPECT_GT(population_stability_index(ref, shifted), 0.25);
+}
+
+TEST(Psi, PerFeatureIsolatesTheDriftingFeature) {
+    const Dataset base = gaussian_dataset(3000, 2, 0.0, 1.0, 7);
+    const PsiReference ref = make_psi_reference(base);
+    // Shift only feature 1 by 3 sigma.
+    Dataset drifted(2);
+    for (std::size_t row = 0; row < base.size(); ++row) {
+        const std::vector<double> x = {base.features(row)[0],
+                                       base.features(row)[1] + 3.0};
+        drifted.add(x, 0);
+    }
+    const std::vector<double> psi = psi_per_feature(ref, drifted);
+    ASSERT_EQ(psi.size(), 2u);
+    EXPECT_LT(psi[0], 0.1);
+    EXPECT_GT(psi[1], 0.25);
+}
+
+TEST(Psi, ConstantFeatureCollapsesToOneBinWithoutBlowingUp) {
+    Dataset data(1);
+    const std::vector<double> sample = {5.0};
+    for (int i = 0; i < 100; ++i) {
+        data.add(sample, 0);
+    }
+    const PsiReference ref = make_psi_reference(data);
+    ASSERT_EQ(ref.feature_count(), 1u);
+    EXPECT_LE(ref.edges[0].size(), 1u);  // duplicates collapsed
+    EXPECT_NEAR(population_stability_index(ref, data), 0.0, 1e-6);
+}
+
+TEST(Psi, MismatchedFeatureCountThrows) {
+    const PsiReference ref =
+        make_psi_reference(gaussian_dataset(100, 3, 0.0, 1.0, 1));
+    const Dataset narrow = gaussian_dataset(100, 2, 0.0, 1.0, 1);
+    EXPECT_THROW(psi_per_feature(ref, narrow), Error);
+    EXPECT_THROW(make_psi_reference(Dataset(3)), Error);
+}
+
+TEST(PsiReference, JsonRoundTripPreservesBinsExactly) {
+    const PsiReference ref =
+        make_psi_reference(gaussian_dataset(400, 3, 0.0, 1.0, 13));
+    const PsiReference back =
+        psi_reference_from_json(psi_reference_to_json(ref));
+    ASSERT_EQ(back.feature_count(), ref.feature_count());
+    EXPECT_EQ(back.sample_count, ref.sample_count);
+    for (std::size_t f = 0; f < ref.feature_count(); ++f) {
+        ASSERT_EQ(back.edges[f].size(), ref.edges[f].size());
+        for (std::size_t i = 0; i < ref.edges[f].size(); ++i) {
+            EXPECT_DOUBLE_EQ(back.edges[f][i], ref.edges[f][i]);
+        }
+        ASSERT_EQ(back.proportions[f].size(), ref.proportions[f].size());
+        for (std::size_t i = 0; i < ref.proportions[f].size(); ++i) {
+            EXPECT_DOUBLE_EQ(back.proportions[f][i],
+                             ref.proportions[f][i]);
+        }
+    }
+}
+
+TEST(PsiReference, ParserRejectsMalformedDocuments) {
+    EXPECT_THROW(psi_reference_from_json("{}"), Error);
+    EXPECT_THROW(
+        psi_reference_from_json("{\"schema\":\"wimi.psi_ref.v2\"}"), Error);
+    // proportions must have edges+1 bins.
+    EXPECT_THROW(psi_reference_from_json(
+                     "{\"schema\":\"wimi.psi_ref.v1\",\"features\":["
+                     "{\"edges\":[1,2],\"proportions\":[0.5,0.5]}]}"),
+                 Error);
+    // edges must be strictly ascending.
+    EXPECT_THROW(psi_reference_from_json(
+                     "{\"schema\":\"wimi.psi_ref.v1\",\"features\":["
+                     "{\"edges\":[2,1],\"proportions\":[0.3,0.3,0.4]}]}"),
+                 Error);
+}
+
+TEST(PsiReference, FileRoundTrip) {
+    const std::string path = testing::TempDir() + "wimi_psi_ref.json";
+    const PsiReference ref =
+        make_psi_reference(gaussian_dataset(200, 2, 0.0, 1.0, 3));
+    save_psi_reference(path, ref);
+    const PsiReference back = load_psi_reference(path);
+    EXPECT_EQ(back.feature_count(), 2u);
+    EXPECT_EQ(back.sample_count, 200u);
+    std::remove(path.c_str());
+    EXPECT_THROW(load_psi_reference(path), Error);
+}
+
+}  // namespace
+}  // namespace wimi::ml

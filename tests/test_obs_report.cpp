@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -131,6 +132,37 @@ TEST(ObsReport, MetricsJsonRoundTripsAgainstRegistry) {
         EXPECT_DOUBLE_EQ(v->find("p95")->num, summary.p95) << name;
         EXPECT_DOUBLE_EQ(v->find("p99")->num, summary.p99) << name;
     }
+}
+
+TEST(ObsReport, NonFiniteValuesSerializeAsNullAndParseBack) {
+    // A NaN gauge (e.g. 0/0 in a quality probe) must not produce the bare
+    // `nan` token, which is not JSON and breaks every downstream parser.
+    MetricsRegistry reg;
+    reg.gauge("bad.ratio").set(std::nan(""));
+    reg.gauge("bad.overflow").set(INFINITY);
+    reg.gauge("good").set(2.5);
+    Histogram& h = reg.histogram("mixed");
+    h.record(1.0);
+    h.record(std::nan(""));
+
+    const std::string text = metrics_to_json(reg);
+    EXPECT_EQ(text.find("nan"), std::string::npos);
+    EXPECT_EQ(text.find("inf"), std::string::npos);
+
+    const json::Value doc = json::parse(text);  // must parse cleanly
+    const json::Value* gauges = doc.find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    EXPECT_EQ(gauges->find("bad.ratio")->kind, json::Value::Kind::kNull);
+    EXPECT_EQ(gauges->find("bad.overflow")->kind, json::Value::Kind::kNull);
+    EXPECT_DOUBLE_EQ(gauges->find("good")->num, 2.5);
+
+    // The histogram quarantined the NaN: finite stats plus an explicit
+    // nonfinite tally round-trip through the document.
+    const json::Value* mixed = doc.find("histograms")->find("mixed");
+    ASSERT_NE(mixed, nullptr);
+    EXPECT_DOUBLE_EQ(mixed->find("count")->num, 1.0);
+    EXPECT_DOUBLE_EQ(mixed->find("nonfinite")->num, 1.0);
+    EXPECT_DOUBLE_EQ(mixed->find("sum")->num, 1.0);
 }
 
 TEST(ObsReport, ChromeTraceRoundTripsWithNestedPipelineSpans) {

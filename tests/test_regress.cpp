@@ -1,0 +1,233 @@
+// Tests for the regression-gate engine (obs/regress): glob matching,
+// document flattening, tolerance judgement in every kind × direction
+// combination, missing/added/null handling, and the machine verdict.
+#include "obs/regress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace wimi::obs::regress {
+namespace {
+
+json::Value doc(const std::string& text) { return json::parse(text); }
+
+RuleSet rules_from(const std::string& text) {
+    return RuleSet::parse(json::parse(text));
+}
+
+/// Convenience: diff two inline documents under inline rules.
+DiffReport diff_docs(const std::string& baseline, const std::string& current,
+                     const std::string& rules = "{}") {
+    return diff(doc(baseline), doc(current), rules_from(rules));
+}
+
+TEST(Glob, MatchesLiteralStarAndQuestionMark) {
+    EXPECT_TRUE(glob_match("abc", "abc"));
+    EXPECT_FALSE(glob_match("abc", "abd"));
+    EXPECT_TRUE(glob_match("*", "anything.at.all"));
+    EXPECT_TRUE(glob_match("counters.*", "counters.csi.captures"));
+    EXPECT_FALSE(glob_match("counters.*", "gauges.accuracy"));
+    EXPECT_TRUE(glob_match("*_us.*", "histograms.exec.wall_us.p50"));
+    EXPECT_FALSE(glob_match("*_us.*", "histograms.svm.train.passes.p50"));
+    EXPECT_TRUE(glob_match("a*b*c", "a-x-b-y-c"));
+    EXPECT_FALSE(glob_match("a*b*c", "a-x-c"));
+    EXPECT_TRUE(glob_match("p?0", "p50"));
+    EXPECT_FALSE(glob_match("p?0", "p5"));
+}
+
+TEST(Flatten, ProducesDottedPathsForNestedDocuments) {
+    const auto leaves = flatten(doc(
+        "{\"a\":{\"b\":1.5},\"list\":[10,20],\"flag\":true,"
+        "\"name\":\"x\",\"gone\":null}"));
+    ASSERT_EQ(leaves.size(), 6u);
+    EXPECT_EQ(leaves[0].path, "a.b");
+    EXPECT_DOUBLE_EQ(leaves[0].num, 1.5);
+    EXPECT_EQ(leaves[1].path, "list.0");
+    EXPECT_DOUBLE_EQ(leaves[1].num, 10.0);
+    EXPECT_EQ(leaves[2].path, "list.1");
+    EXPECT_EQ(leaves[3].path, "flag");
+    EXPECT_DOUBLE_EQ(leaves[3].num, 1.0);  // bools become 0/1
+    EXPECT_EQ(leaves[4].path, "name");
+    EXPECT_TRUE(leaves[4].is_string);
+    EXPECT_EQ(leaves[5].path, "gone");
+    EXPECT_TRUE(leaves[5].is_null);
+}
+
+TEST(Rules, FirstMatchWinsWithFallback) {
+    const RuleSet set = rules_from(
+        "{\"schema\":\"wimi.tolerance.v1\","
+        "\"default\":{\"kind\":\"rel\",\"value\":0.5},"
+        "\"rules\":["
+        "{\"match\":\"a.*\",\"kind\":\"abs\",\"value\":1},"
+        "{\"match\":\"a.b\",\"kind\":\"ignore\"}]}");
+    EXPECT_EQ(set.match("a.b").kind, ToleranceKind::kAbs);  // first wins
+    EXPECT_EQ(set.match("zzz").kind, ToleranceKind::kRel);
+    EXPECT_DOUBLE_EQ(set.match("zzz").value, 0.5);
+}
+
+TEST(Rules, ParserRejectsMalformedRules) {
+    EXPECT_THROW(rules_from("{\"rules\":[{\"kind\":\"rel\"}]}"), Error);
+    EXPECT_THROW(
+        rules_from("{\"rules\":[{\"match\":\"a\",\"kind\":\"nope\"}]}"),
+        Error);
+    EXPECT_THROW(
+        rules_from(
+            "{\"rules\":[{\"match\":\"a\",\"kind\":\"ratio\",\"value\":0.5}]}"),
+        Error);
+    EXPECT_THROW(rules_from("{\"schema\":\"wrong.v9\"}"), Error);
+}
+
+TEST(Diff, ExactDefaultPassesIdenticalDocuments) {
+    const DiffReport r =
+        diff_docs("{\"a\":1,\"b\":{\"c\":2}}", "{\"a\":1,\"b\":{\"c\":2}}");
+    EXPECT_TRUE(r.passed());
+    EXPECT_EQ(r.ok, 2u);
+    EXPECT_EQ(r.regressed, 0u);
+}
+
+TEST(Diff, ExactDefaultFlagsAnyDrift) {
+    const DiffReport r = diff_docs("{\"a\":1}", "{\"a\":1.0000001}");
+    EXPECT_FALSE(r.passed());
+    EXPECT_EQ(r.regressed, 1u);
+}
+
+TEST(Diff, AbsToleranceBandIsInclusive) {
+    const std::string rules =
+        "{\"rules\":[{\"match\":\"a\",\"kind\":\"abs\",\"value\":2}]}";
+    EXPECT_TRUE(diff_docs("{\"a\":10}", "{\"a\":12}", rules).passed());
+    EXPECT_TRUE(diff_docs("{\"a\":10}", "{\"a\":8}", rules).passed());
+    EXPECT_FALSE(diff_docs("{\"a\":10}", "{\"a\":12.5}", rules).passed());
+}
+
+TEST(Diff, RelToleranceScalesWithBaseline) {
+    const std::string rules =
+        "{\"rules\":[{\"match\":\"a\",\"kind\":\"rel\",\"value\":0.1}]}";
+    EXPECT_TRUE(diff_docs("{\"a\":100}", "{\"a\":109}", rules).passed());
+    EXPECT_FALSE(diff_docs("{\"a\":100}", "{\"a\":111}", rules).passed());
+}
+
+TEST(Diff, RatioToleranceIsSymmetric) {
+    const std::string rules =
+        "{\"rules\":[{\"match\":\"a\",\"kind\":\"ratio\",\"value\":2}]}";
+    EXPECT_TRUE(diff_docs("{\"a\":10}", "{\"a\":19}", rules).passed());
+    EXPECT_TRUE(diff_docs("{\"a\":10}", "{\"a\":5.5}", rules).passed());
+    EXPECT_FALSE(diff_docs("{\"a\":10}", "{\"a\":21}", rules).passed());
+    EXPECT_FALSE(diff_docs("{\"a\":10}", "{\"a\":4.9}", rules).passed());
+}
+
+TEST(Diff, HigherBetterOnlyFailsOnDrops) {
+    // Throughput-style metric: a 10% band, drops regress, rises improve.
+    const std::string rules =
+        "{\"rules\":[{\"match\":\"rate\",\"kind\":\"rel\",\"value\":0.1,"
+        "\"direction\":\"higher_better\"}]}";
+    const DiffReport drop =
+        diff_docs("{\"rate\":600}", "{\"rate\":520}", rules);
+    EXPECT_FALSE(drop.passed());
+    EXPECT_EQ(drop.regressed, 1u);
+    const DiffReport rise =
+        diff_docs("{\"rate\":600}", "{\"rate\":700}", rules);
+    EXPECT_TRUE(rise.passed());
+    EXPECT_EQ(rise.improved, 1u);
+}
+
+TEST(Diff, LowerBetterOnlyFailsOnRises) {
+    const std::string rules =
+        "{\"rules\":[{\"match\":\"err\",\"kind\":\"abs\",\"value\":1,"
+        "\"direction\":\"lower_better\"}]}";
+    EXPECT_FALSE(diff_docs("{\"err\":3}", "{\"err\":5}", rules).passed());
+    const DiffReport better =
+        diff_docs("{\"err\":3}", "{\"err\":0}", rules);
+    EXPECT_TRUE(better.passed());
+    EXPECT_EQ(better.improved, 1u);
+}
+
+TEST(Diff, AccuracyTwoPointDropFailsTheGate) {
+    // The ISSUE's acceptance case: >= 2-point accuracy drop must exit
+    // nonzero under the checked-in 0.02 abs higher_better rule.
+    const std::string rules =
+        "{\"rules\":[{\"match\":\"accuracy\",\"kind\":\"abs\","
+        "\"value\":0.02,\"direction\":\"higher_better\"}]}";
+    EXPECT_TRUE(
+        diff_docs("{\"accuracy\":0.92}", "{\"accuracy\":0.91}", rules)
+            .passed());
+    EXPECT_FALSE(
+        diff_docs("{\"accuracy\":0.92}", "{\"accuracy\":0.895}", rules)
+            .passed());
+}
+
+TEST(Diff, MissingMetricFailsAddedMetricDoesNot) {
+    const DiffReport r =
+        diff_docs("{\"a\":1,\"b\":2}", "{\"a\":1,\"c\":3}");
+    EXPECT_FALSE(r.passed());
+    EXPECT_EQ(r.missing, 1u);
+    EXPECT_EQ(r.added, 1u);
+    // Added-only drift would pass: re-run without the vanished metric.
+    EXPECT_TRUE(diff_docs("{\"a\":1}", "{\"a\":1,\"c\":3}").passed());
+}
+
+TEST(Diff, IgnoreRulesExcludeTimingNoise) {
+    const std::string rules =
+        "{\"rules\":[{\"match\":\"*_us.*\",\"kind\":\"ignore\"}]}";
+    const DiffReport r = diff_docs(
+        "{\"span_us\":{\"p50\":10},\"count\":3}",
+        "{\"span_us\":{\"p50\":900},\"count\":3}", rules);
+    EXPECT_TRUE(r.passed());
+    EXPECT_EQ(r.ignored, 1u);
+}
+
+TEST(Diff, NullLeavesMatchOnlyNullLeaves) {
+    EXPECT_TRUE(diff_docs("{\"g\":null}", "{\"g\":null}").passed());
+    // A gauge that was NaN at baseline but finite now (or vice versa) is
+    // a behavior change, not a tolerance question.
+    EXPECT_FALSE(diff_docs("{\"g\":null}", "{\"g\":1.0}").passed());
+    EXPECT_FALSE(diff_docs("{\"g\":1.0}", "{\"g\":null}").passed());
+}
+
+TEST(Diff, StringLeavesRequireExactMatch) {
+    EXPECT_TRUE(
+        diff_docs("{\"name\":\"svm\"}", "{\"name\":\"svm\"}").passed());
+    EXPECT_FALSE(
+        diff_docs("{\"name\":\"svm\"}", "{\"name\":\"knn\"}").passed());
+}
+
+TEST(Diff, SchemaMismatchThrowsInsteadOfComparing) {
+    EXPECT_THROW(diff_docs("{\"schema\":\"wimi.metrics.v1\",\"a\":1}",
+                           "{\"schema\":\"wimi.run.v1\",\"a\":1}"),
+                 Error);
+}
+
+TEST(Verdict, JsonCarriesCountsAndFailures) {
+    const std::string rules =
+        "{\"rules\":[{\"match\":\"rate\",\"kind\":\"rel\",\"value\":0.1,"
+        "\"direction\":\"higher_better\"}]}";
+    const DiffReport r = diff_docs(
+        "{\"rate\":600,\"ok\":1}", "{\"rate\":500,\"ok\":1}", rules);
+    const json::Value v = json::parse(verdict_json(r));
+    EXPECT_EQ(v.find("schema")->string, "wimi.regress.v1");
+    EXPECT_EQ(v.find("verdict")->string, "fail");
+    EXPECT_DOUBLE_EQ(v.find("regressed")->num, 1.0);
+    EXPECT_DOUBLE_EQ(v.find("ok")->num, 1.0);
+    const json::Value* failures = v.find("failures");
+    ASSERT_TRUE(failures->is_array());
+    ASSERT_EQ(failures->array.size(), 1u);
+    EXPECT_EQ(failures->array[0].find("metric")->string, "rate");
+    EXPECT_DOUBLE_EQ(failures->array[0].find("baseline")->num, 600.0);
+    EXPECT_DOUBLE_EQ(failures->array[0].find("current")->num, 500.0);
+}
+
+TEST(Verdict, TableListsFlaggedRows) {
+    const DiffReport r = diff_docs("{\"a\":1,\"b\":2}", "{\"a\":1,\"b\":3}");
+    std::ostringstream out;
+    print_table(r, out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("b"), std::string::npos);
+    EXPECT_NE(text.find("FAIL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wimi::obs::regress

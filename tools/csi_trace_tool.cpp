@@ -13,12 +13,19 @@
 //   csi_trace_tool generate <trace> [env]  record a simulated capture
 //                                          (env: hall | lab | library)
 //   csi_trace_tool pipeline profile <trace> [--trace-out f] [--metrics-out f]
+//                                          [--run-out f]
 //                                          run the pre-processing pipeline
 //                                          on the trace and export a Chrome
-//                                          trace + metrics JSON
+//                                          trace + metrics JSON (+ append a
+//                                          wimi.run.v1 manifest to the ledger)
+//   csi_trace_tool psi-ref <out.json> [env]
+//                                          build a wimi.psi_ref.v1 feature
+//                                          reference from the standard
+//                                          experiment (drift baseline)
 #include <algorithm>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -26,16 +33,21 @@
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "core/amplitude_denoising.hpp"
+#include "core/antenna_selection.hpp"
 #include "core/material_feature.hpp"
 #include "core/phase_calibration.hpp"
 #include "core/subcarrier_selection.hpp"
 #include "core/wimi.hpp"
 #include "csi/pdp.hpp"
+#include "csi/quality.hpp"
 #include "csi/trace_io.hpp"
 #include "dsp/circular.hpp"
 #include "dsp/stats.hpp"
 #include "exec/parallel.hpp"
+#include "ml/drift.hpp"
 #include "obs/obs.hpp"
+#include "obs/run_context.hpp"
+#include "sim/harness.hpp"
 #include "sim/scenario.hpp"
 
 namespace {
@@ -211,7 +223,8 @@ int cmd_generate(const std::string& path, const std::string& env_name) {
 /// second file.
 int cmd_pipeline_profile(const std::string& path,
                          const std::string& trace_out,
-                         const std::string& metrics_out) {
+                         const std::string& metrics_out,
+                         const std::string& run_out) {
     const auto series = csi::read_trace_file(path);
     ensure(series.packet_count() >= 16,
            "pipeline profile: need at least 16 packets");
@@ -222,9 +235,26 @@ int cmd_pipeline_profile(const std::string& path,
     obs::trace_reset();
     obs::registry().reset();
 
+    obs::RunContext run("csi_trace_tool.pipeline");
+    run.set_threads(exec::thread_count());
+    {
+        // The "configuration" of a profile run is the trace's shape: two
+        // runs over the same capture geometry are comparable.
+        std::ostringstream cfg;
+        cfg << "trace_shape=" << series.packet_count() << 'x'
+            << series.antenna_count() << 'x' << series.subcarrier_count();
+        run.set_config(cfg.str());
+        run.note("trace", path);
+    }
+
     const auto pairs = core::all_antenna_pairs(series.antenna_count());
     {
         WIMI_TRACE_SPAN("pipeline.profile");
+
+        // Stage 0 — signal-quality probes over the raw trace: amplitude
+        // CV per subcarrier, antenna-ratio stability, pair ranking.
+        csi::record_signal_quality(series);
+        core::rank_antenna_pairs(series);
 
         // Stage 1 — phase calibration quality (Fig. 12 diagnostics).
         for (const auto pair : pairs) {
@@ -271,6 +301,7 @@ int cmd_pipeline_profile(const std::string& path,
 
     obs::write_chrome_trace(trace_out);
     obs::write_metrics_json(metrics_out);
+    const std::string ledger = run.append_to_default_ledger(run_out);
 
     // Per-stage digest of the spans just recorded.
     struct StageTotals {
@@ -295,6 +326,35 @@ int cmd_pipeline_profile(const std::string& path,
               << "Chrome trace: " << trace_out << " (load in "
               << "chrome://tracing or ui.perfetto.dev)\n"
               << "Metrics:      " << metrics_out << '\n';
+    if (!ledger.empty()) {
+        std::cout << "Run ledger:   " << ledger << " (wimi.run.v1)\n";
+    }
+    return 0;
+}
+
+/// Builds a `wimi.psi_ref.v1` feature-distribution reference from the
+/// standard identification experiment in `env_name`. Checked in under
+/// bench/baselines/, it lets later runs report feature drift (PSI) via
+/// ExperimentConfig::psi_reference_path.
+int cmd_psi_ref(const std::string& out_path, const std::string& env_name) {
+    sim::ExperimentConfig config;
+    if (env_name == "hall") {
+        config.scenario.environment = rf::Environment::kHall;
+    } else if (env_name == "library") {
+        config.scenario.environment = rf::Environment::kLibrary;
+    } else if (env_name == "lab" || env_name.empty()) {
+        config.scenario.environment = rf::Environment::kLab;
+    } else {
+        fail("unknown environment (use hall | lab | library)");
+    }
+    const core::Wimi wimi = sim::make_calibrated_wimi(config);
+    const ml::Dataset data = sim::build_feature_dataset(config, wimi);
+    const ml::PsiReference ref = ml::make_psi_reference(data);
+    ml::save_psi_reference(out_path, ref);
+    std::cout << "Wrote " << ref.feature_count() << "-feature PSI reference ("
+              << ref.sample_count << " samples, config digest "
+              << obs::config_digest(sim::serialize_config(config)) << ") to "
+              << out_path << '\n';
     return 0;
 }
 
@@ -306,7 +366,9 @@ int usage() {
               << "  csi_trace_tool phase <trace.wcsi> <subcarrier>\n"
               << "  csi_trace_tool generate <trace.wcsi> [hall|lab|library]\n"
               << "  csi_trace_tool pipeline profile <trace.wcsi>"
-              << " [--trace-out out.json] [--metrics-out out.json]\n";
+              << " [--trace-out out.json] [--metrics-out out.json]"
+              << " [--run-out ledger.jsonl]\n"
+              << "  csi_trace_tool psi-ref <out.json> [hall|lab|library]\n";
     return 2;
 }
 
@@ -326,6 +388,7 @@ int main(int argc, char** argv) {
             const std::string trace_path = argv[3];
             std::string trace_out = trace_path + ".trace.json";
             std::string metrics_out = trace_path + ".metrics.json";
+            std::string run_out;
             if ((argc - 4) % 2 != 0) {
                 return usage();  // a flag is missing its value
             }
@@ -335,12 +398,17 @@ int main(int argc, char** argv) {
                     trace_out = argv[i + 1];
                 } else if (flag == "--metrics-out") {
                     metrics_out = argv[i + 1];
+                } else if (flag == "--run-out") {
+                    run_out = argv[i + 1];
                 } else {
                     return usage();
                 }
             }
             return cmd_pipeline_profile(trace_path, trace_out,
-                                        metrics_out);
+                                        metrics_out, run_out);
+        }
+        if (command == "psi-ref") {
+            return cmd_psi_ref(path, argc > 3 ? argv[3] : "lab");
         }
         if (command == "info") {
             return cmd_info(path);

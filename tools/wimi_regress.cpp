@@ -1,0 +1,107 @@
+// wimi_regress: regression gate over machine-readable reports.
+//
+// Compares a candidate `wimi.metrics.v1` / `wimi.run.v1` / bench report
+// against a checked-in baseline under per-metric tolerance rules and
+// exits nonzero when any metric regressed or vanished. Designed to sit
+// at the end of a CI job:
+//
+//   wimi_regress bench/baselines/pipeline_metrics.json build/metrics.json
+//       --rules bench/baselines/rules.json --out verdict.json
+//
+// Exit codes: 0 pass, 1 regression (or missing metric), 2 usage or
+// input error. See DESIGN.md §7 for the rule-file format.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/regress.hpp"
+
+namespace {
+
+using namespace wimi;
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s <baseline.json> <current.json>"
+                 " [--rules rules.json] [--out verdict.json] [--show-all]\n"
+                 "\n"
+                 "Diffs two reports of the same schema under wimi.tolerance.v1\n"
+                 "rules. Exits 0 when every metric is within tolerance, 1 on\n"
+                 "any regression or vanished metric, 2 on bad input.\n",
+                 argv0);
+    return 2;
+}
+
+obs::json::Value load_json(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    ensure(in.good(), "cannot open " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return obs::json::parse(buffer.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string baseline_path;
+    std::string current_path;
+    std::string rules_path;
+    std::string out_path;
+    bool show_all = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--rules" && i + 1 < argc) {
+            rules_path = argv[++i];
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--show-all") {
+            show_all = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return usage(argv[0]);
+        } else if (baseline_path.empty()) {
+            baseline_path = arg;
+        } else if (current_path.empty()) {
+            current_path = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (baseline_path.empty() || current_path.empty()) {
+        return usage(argv[0]);
+    }
+
+    try {
+        const obs::json::Value baseline = load_json(baseline_path);
+        const obs::json::Value current = load_json(current_path);
+        obs::regress::RuleSet rules;
+        if (!rules_path.empty()) {
+            rules = obs::regress::RuleSet::parse_file(rules_path);
+        }
+
+        const obs::regress::DiffReport report =
+            obs::regress::diff(baseline, current, rules);
+        std::cout << "baseline: " << baseline_path << '\n'
+                  << "current:  " << current_path << '\n';
+        obs::regress::print_table(report, std::cout, !show_all);
+
+        if (!out_path.empty()) {
+            std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+            ensure(out.good(), "cannot open " + out_path);
+            out << obs::regress::verdict_json(report) << '\n';
+            ensure(out.good(), "failed writing " + out_path);
+        }
+        return report.passed() ? 0 : 1;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "wimi_regress: %s\n", e.what());
+        return 2;
+    }
+}
