@@ -124,6 +124,12 @@ public:
     /// Antenna pairs in use.
     const std::vector<AntennaPair>& pairs() const { return pairs_; }
 
+    /// Trained-state access for the model serializer (serve/model.hpp):
+    /// the fitted scaler and the trained SVM ensemble. Meaningful only
+    /// once trained() is true.
+    const ml::StandardScaler& scaler() const { return scaler_; }
+    const ml::MulticlassSvm& svm() const { return svm_; }
+
 private:
     WimiConfig config_;
     std::vector<AntennaPair> pairs_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/math.hpp"
@@ -13,6 +14,15 @@ void check_window(std::span<const double> input, std::size_t window) {
     ensure(!input.empty(), "filter: input must not be empty");
     ensure(window >= 1, "filter: window must be >= 1");
     ensure(window % 2 == 1, "filter: window must be odd");
+}
+
+/// std::sort over a window containing NaN is undefined behavior, so the
+/// order-statistic filter validates its whole input up front.
+void check_finite(std::span<const double> input, const char* what) {
+    for (const double v : input) {
+        ensure(std::isfinite(v),
+               std::string(what) + ": input contains a non-finite value");
+    }
 }
 
 std::vector<double> run_sections(const std::vector<Biquad>& sections,
@@ -36,6 +46,7 @@ std::vector<double> run_sections(const std::vector<Biquad>& sections,
 std::vector<double> median_filter(std::span<const double> input,
                                   std::size_t window) {
     check_window(input, window);
+    check_finite(input, "median_filter");
     const std::size_t half = window / 2;
     const std::size_t n = input.size();
     std::vector<double> out(n);

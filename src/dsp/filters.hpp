@@ -15,11 +15,14 @@ namespace wimi::dsp {
 
 /// Sliding median filter with an odd window; the window shrinks
 /// symmetrically near the edges so output length equals input length.
+/// Requires all-finite input (sorting NaN is undefined behavior);
+/// throws wimi::Error otherwise.
 std::vector<double> median_filter(std::span<const double> input,
                                   std::size_t window);
 
 /// Sliding mean ("slide") filter with the same edge policy as
-/// median_filter.
+/// median_filter. Being plain arithmetic, non-finite samples propagate
+/// into every window that covers them (IEEE-754 semantics).
 std::vector<double> sliding_mean_filter(std::span<const double> input,
                                         std::size_t window);
 

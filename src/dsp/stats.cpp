@@ -2,10 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/error.hpp"
 
 namespace wimi::dsp {
+namespace {
+
+/// Order statistics sort their input, and std::sort / std::nth_element
+/// on a range containing NaN violates strict weak ordering — undefined
+/// behavior, not just a wrong answer. Every sorting-based entry point
+/// rejects non-finite input up front instead.
+void ensure_all_finite(std::span<const double> values, const char* what) {
+    for (const double v : values) {
+        ensure(std::isfinite(v),
+               std::string(what) + ": input contains a non-finite value");
+    }
+}
+
+}  // namespace
 
 double mean(std::span<const double> values) {
     ensure(!values.empty(), "mean: input must not be empty");
@@ -44,6 +59,7 @@ double sample_variance(std::span<const double> values) {
 
 double median(std::span<const double> values) {
     ensure(!values.empty(), "median: input must not be empty");
+    ensure_all_finite(values, "median");
     std::vector<double> sorted(values.begin(), values.end());
     const std::size_t mid = sorted.size() / 2;
     std::nth_element(sorted.begin(), sorted.begin() + mid, sorted.end());
@@ -73,6 +89,7 @@ double robust_sigma(std::span<const double> values) {
 double percentile(std::span<const double> values, double p) {
     ensure(!values.empty(), "percentile: input must not be empty");
     ensure(p >= 0.0 && p <= 100.0, "percentile: p must be in [0, 100]");
+    ensure_all_finite(values, "percentile");
     std::vector<double> sorted(values.begin(), values.end());
     std::sort(sorted.begin(), sorted.end());
     if (sorted.size() == 1) {
@@ -125,6 +142,10 @@ std::vector<std::size_t> sigma_outlier_indices(std::span<const double> values,
     if (values.empty()) {
         return outliers;
     }
+    // A single NaN would poison mean/stddev, making both band edges NaN
+    // and every comparison false — the gate would silently pass
+    // everything. Reject instead of returning "no outliers".
+    ensure_all_finite(values, "sigma_outlier_indices");
     const double mu = mean(values);
     const double sigma = stddev(values);
     const double lo = mu - k_sigma * sigma;

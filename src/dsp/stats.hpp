@@ -1,6 +1,15 @@
 // Descriptive statistics used across the WiMi pipeline: subcarrier variance
 // (paper Eq. 7), 3-sigma outlier gating (Sec. III-C step 1), and the robust
 // median noise estimate behind the wavelet threshold (ref. [24]).
+//
+// Non-finite input policy: the moment-based functions (mean, variance,
+// stddev, sample_variance, pearson_correlation, rmse, RunningStats)
+// follow IEEE-754 arithmetic and propagate NaN/Inf into their result.
+// The order-statistic functions (median, median_absolute_deviation,
+// robust_sigma, percentile) and the sigma outlier gate throw wimi::Error
+// on non-finite input instead: sorting a range containing NaN is
+// undefined behavior, and a NaN-poisoned outlier band would silently
+// pass every sample.
 #pragma once
 
 #include <cstddef>
@@ -21,7 +30,8 @@ double stddev(std::span<const double> values);
 /// Sample variance (divide by N-1). Requires >= 2 values.
 double sample_variance(std::span<const double> values);
 
-/// Median (average of middle two for even N). Requires a non-empty input.
+/// Median (average of middle two for even N). Requires a non-empty,
+/// all-finite input (wimi::Error otherwise).
 double median(std::span<const double> values);
 
 /// Median absolute deviation from the median.
@@ -31,7 +41,8 @@ double median_absolute_deviation(std::span<const double> values);
 /// for the wavelet noise threshold per the paper's ref. [24].
 double robust_sigma(std::span<const double> values);
 
-/// Linear interpolated percentile; p in [0, 100].
+/// Linear interpolated percentile; p in [0, 100]. Requires a non-empty,
+/// all-finite input.
 double percentile(std::span<const double> values, double p);
 
 /// Pearson correlation coefficient; returns 0 when either side is constant.
@@ -41,7 +52,9 @@ double pearson_correlation(std::span<const double> a,
 /// Root-mean-square error between two equal-length series.
 double rmse(std::span<const double> a, std::span<const double> b);
 
-/// Indices of elements outside [mean - k*sigma, mean + k*sigma].
+/// Indices of elements outside [mean - k*sigma, mean + k*sigma]. Empty
+/// input yields no outliers; non-finite values throw wimi::Error (they
+/// would otherwise poison the band and disable the gate silently).
 std::vector<std::size_t> sigma_outlier_indices(std::span<const double> values,
                                                double k_sigma);
 
@@ -52,6 +65,8 @@ std::vector<double> reject_sigma_outliers(std::span<const double> values,
 
 /// Running accumulator for mean/variance without storing samples
 /// (Welford's algorithm); used by long sweeps in the bench harness.
+/// Non-finite observations propagate into every later statistic, per
+/// the header's non-finite input policy.
 class RunningStats {
 public:
     /// Adds one observation.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/error.hpp"
 #include "dsp/stats.hpp"
@@ -18,6 +19,17 @@ double power(std::span<const double> v) {
     return sum;
 }
 
+/// Both denoisers estimate the noise floor with robust_sigma, which
+/// rejects non-finite input deep inside the median computation. Checking
+/// at the entry point turns that into an error naming the caller instead
+/// of an opaque "median: ..." failure from inside the decomposition.
+void ensure_all_finite(std::span<const double> values, const char* what) {
+    for (const double v : values) {
+        ensure(std::isfinite(v),
+               std::string(what) + ": input contains a non-finite value");
+    }
+}
+
 }  // namespace
 
 std::vector<double> wavelet_correlation_denoise(
@@ -28,6 +40,7 @@ std::vector<double> wavelet_correlation_denoise(
     ensure(config.levels >= 2,
            "wavelet_correlation_denoise: need at least 2 scales to "
            "correlate adjacent scales");
+    ensure_all_finite(input, "wavelet_correlation_denoise");
 
     auto decomposition = atrous_decompose(input, config.levels);
     const std::size_t n = input.size();
@@ -117,6 +130,7 @@ std::vector<double> universal_threshold_denoise(std::span<const double> input,
                                                 std::size_t levels) {
     ensure(input.size() >= 8,
            "universal_threshold_denoise: need at least 8 samples");
+    ensure_all_finite(input, "universal_threshold_denoise");
     const std::size_t usable =
         std::min(levels, max_dwt_levels(input.size() + input.size() % 2,
                                         Wavelet::kDb2));

@@ -48,13 +48,16 @@ struct WaveletDenoiseReport {
 
 /// Denoises `input` and returns the reconstructed clean series
 /// (same length). Optionally fills `report` with per-scale diagnostics.
+/// Requires >= 8 all-finite samples (the robust noise estimate is an
+/// order statistic); throws wimi::Error otherwise.
 std::vector<double> wavelet_correlation_denoise(
     std::span<const double> input, const WaveletDenoiseConfig& config = {},
     WaveletDenoiseReport* report = nullptr);
 
 /// Baseline for comparison: classical soft-threshold denoising with the
 /// Donoho–Johnstone universal threshold sigma * sqrt(2 ln N) on the
-/// decimated DWT. Not used by the WiMi pipeline itself.
+/// decimated DWT. Not used by the WiMi pipeline itself. Requires >= 8
+/// all-finite samples; throws wimi::Error otherwise.
 std::vector<double> universal_threshold_denoise(std::span<const double> input,
                                                 std::size_t levels);
 

@@ -1,6 +1,8 @@
 #include "ml/scaler.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -11,11 +13,17 @@ void StandardScaler::fit(const Dataset& data) {
     const std::size_t width = data.feature_count();
     means_.assign(width, 0.0);
     stddevs_.assign(width, 0.0);
+    std::vector<double> lo(data.features(0).begin(), data.features(0).end());
+    std::vector<double> hi = lo;
 
     for (std::size_t row = 0; row < data.size(); ++row) {
         const auto x = data.features(row);
         for (std::size_t j = 0; j < width; ++j) {
+            ensure(std::isfinite(x[j]),
+                   "StandardScaler::fit: non-finite feature value");
             means_[j] += x[j];
+            lo[j] = std::min(lo[j], x[j]);
+            hi[j] = std::max(hi[j], x[j]);
         }
     }
     for (double& m : means_) {
@@ -28,11 +36,22 @@ void StandardScaler::fit(const Dataset& data) {
             stddevs_[j] += d * d;
         }
     }
-    for (double& s : stddevs_) {
-        s = std::sqrt(s / static_cast<double>(data.size()));
-        if (s < 1e-12) {
-            s = 1.0;  // constant feature: pass through centered
+    for (std::size_t j = 0; j < width; ++j) {
+        double s = std::sqrt(stddevs_[j] / static_cast<double>(data.size()));
+        if (lo[j] == hi[j]) {
+            // Bitwise-constant feature: unit scale and the exact constant
+            // as the mean (the accumulated mean can be a few ulps off for
+            // large magnitudes), so transform of the constant is exactly
+            // 0 — deterministic across save/load and fold splits.
+            means_[j] = lo[j];
+            s = 1.0;
+        } else if (s < 1e-12 * std::max(1.0, std::abs(means_[j]))) {
+            // Spread indistinguishable from accumulation rounding at this
+            // magnitude: dividing by it would amplify noise into O(1)
+            // garbage. Pass through centered instead.
+            s = 1.0;
         }
+        stddevs_[j] = s;
     }
 }
 
@@ -53,6 +72,24 @@ void StandardScaler::transform(std::span<const double> features,
     for (std::size_t j = 0; j < features.size(); ++j) {
         out[j] = (features[j] - means_[j]) / stddevs_[j];
     }
+}
+
+StandardScaler StandardScaler::restore(std::vector<double> means,
+                                       std::vector<double> stddevs) {
+    ensure(!means.empty(), "StandardScaler::restore: empty moments");
+    ensure(means.size() == stddevs.size(),
+           "StandardScaler::restore: means/stddevs size mismatch");
+    for (const double m : means) {
+        ensure(std::isfinite(m), "StandardScaler::restore: non-finite mean");
+    }
+    for (const double s : stddevs) {
+        ensure(std::isfinite(s) && s > 0.0,
+               "StandardScaler::restore: stddevs must be finite and > 0");
+    }
+    StandardScaler scaler;
+    scaler.means_ = std::move(means);
+    scaler.stddevs_ = std::move(stddevs);
+    return scaler;
 }
 
 Dataset StandardScaler::transform(const Dataset& data) const {

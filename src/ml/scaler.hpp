@@ -16,7 +16,12 @@ namespace wimi::ml {
 class StandardScaler {
 public:
     /// Learns per-feature means and standard deviations from `data`.
-    /// Constant features get unit scale (they pass through centered).
+    /// Rejects non-finite feature values (wimi::Error). Constant features
+    /// get unit scale and the exact constant as their mean, so transform
+    /// of the constant is exactly 0 — a feature whose spread is pure
+    /// floating-point rounding (stddev below ~1e-12 of its magnitude) is
+    /// treated the same way instead of dividing by the rounding noise and
+    /// feeding amplified garbage to the classifier.
     void fit(const Dataset& data);
 
     /// Scales one feature vector. Requires fit() first and matching width.
@@ -34,6 +39,13 @@ public:
     bool fitted() const { return !means_.empty(); }
     std::span<const double> means() const { return means_; }
     std::span<const double> stddevs() const { return stddevs_; }
+
+    /// Rebuilds a fitted scaler from persisted moments. Requires equal,
+    /// non-zero sizes, finite means, and finite positive stddevs; throws
+    /// wimi::Error otherwise. transform() of the restored scaler is
+    /// bit-identical to the original's.
+    static StandardScaler restore(std::vector<double> means,
+                                  std::vector<double> stddevs);
 
 private:
     std::vector<double> means_;

@@ -201,6 +201,30 @@ int BinarySvm::predict(std::span<const double> x) const {
     return decision(x) >= 0.0 ? 1 : -1;
 }
 
+BinarySvm BinarySvm::restore(const SvmConfig& config, std::size_t width,
+                             std::vector<double> support_vectors,
+                             std::vector<double> alphas, double bias) {
+    ensure(width >= 1, "BinarySvm::restore: width must be >= 1");
+    ensure(!alphas.empty(),
+           "BinarySvm::restore: need at least one support vector");
+    ensure(support_vectors.size() == alphas.size() * width,
+           "BinarySvm::restore: support vector array size mismatch");
+    for (const double v : support_vectors) {
+        ensure(std::isfinite(v),
+               "BinarySvm::restore: non-finite support vector value");
+    }
+    for (const double a : alphas) {
+        ensure(std::isfinite(a), "BinarySvm::restore: non-finite alpha");
+    }
+    ensure(std::isfinite(bias), "BinarySvm::restore: non-finite bias");
+    BinarySvm svm(config);  // validates C/gamma/tolerance
+    svm.width_ = width;
+    svm.support_vectors_ = std::move(support_vectors);
+    svm.alphas_ = std::move(alphas);
+    svm.bias_ = bias;
+    return svm;
+}
+
 MulticlassSvm::MulticlassSvm(const SvmConfig& config) : config_(config) {}
 
 void MulticlassSvm::train(const Dataset& data) {
@@ -248,6 +272,40 @@ void MulticlassSvm::train(const Dataset& data) {
             return machine;
         },
         {.label = "svm.pairs", .threads = config_.threads});
+}
+
+MulticlassSvm MulticlassSvm::restore(const SvmConfig& config,
+                                     std::vector<int> classes,
+                                     std::vector<PairMachine> machines) {
+    ensure(classes.size() >= 2,
+           "MulticlassSvm::restore: need at least 2 classes");
+    ensure(std::is_sorted(classes.begin(), classes.end()) &&
+               std::adjacent_find(classes.begin(), classes.end()) ==
+                   classes.end(),
+           "MulticlassSvm::restore: classes must be sorted and unique");
+    ensure(machines.size() == classes.size() * (classes.size() - 1) / 2,
+           "MulticlassSvm::restore: machine count must be one per "
+           "unordered class pair");
+    // Machines must arrive in the canonical order train() produces —
+    // (classes[a], classes[b]) for a < b — which also guarantees each
+    // pair appears exactly once.
+    std::size_t m = 0;
+    for (std::size_t a = 0; a < classes.size(); ++a) {
+        for (std::size_t b = a + 1; b < classes.size(); ++b, ++m) {
+            ensure(machines[m].positive_label == classes[a] &&
+                       machines[m].negative_label == classes[b],
+                   "MulticlassSvm::restore: machines out of canonical "
+                   "pair order");
+            ensure(machines[m].svm.trained(),
+                   "MulticlassSvm::restore: untrained pair machine");
+            ensure(machines[m].svm.width() == machines.front().svm.width(),
+                   "MulticlassSvm::restore: inconsistent feature widths");
+        }
+    }
+    MulticlassSvm svm(config);
+    svm.classes_ = std::move(classes);
+    svm.machines_ = std::move(machines);
+    return svm;
 }
 
 std::vector<std::pair<int, int>> MulticlassSvm::votes(

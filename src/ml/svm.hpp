@@ -56,6 +56,24 @@ public:
     std::size_t support_vector_count() const { return alphas_.size(); }
     bool trained() const { return width_ > 0; }
 
+    // Trained-state access for the model serializer (serve/model_io).
+    // A restored machine is decision-for-decision identical to the
+    // original because decision() depends only on these fields.
+    const SvmConfig& config() const { return config_; }
+    std::size_t width() const { return width_; }
+    std::span<const double> support_vectors() const {
+        return support_vectors_;
+    }
+    std::span<const double> alphas() const { return alphas_; }
+    double bias() const { return bias_; }
+
+    /// Rebuilds a trained machine from persisted state. Validates the
+    /// shape (sv array = alphas * width, >= 1 support vector) and that
+    /// every value is finite; throws wimi::Error otherwise.
+    static BinarySvm restore(const SvmConfig& config, std::size_t width,
+                             std::vector<double> support_vectors,
+                             std::vector<double> alphas, double bias);
+
 private:
     double kernel(std::span<const double> a, std::span<const double> b) const;
 
@@ -69,6 +87,14 @@ private:
 /// One-vs-one multiclass SVM.
 class MulticlassSvm {
 public:
+    /// One pairwise machine of the one-vs-one ensemble (public so the
+    /// model serializer can walk and rebuild the ensemble).
+    struct PairMachine {
+        int positive_label = 0;
+        int negative_label = 0;
+        BinarySvm svm;
+    };
+
     explicit MulticlassSvm(const SvmConfig& config = {});
 
     /// Trains one binary SVM per unordered label pair. Requires >= 2
@@ -86,13 +112,20 @@ public:
     bool trained() const { return !machines_.empty(); }
     std::span<const int> classes() const { return classes_; }
 
-private:
-    struct PairMachine {
-        int positive_label = 0;
-        int negative_label = 0;
-        BinarySvm svm;
-    };
+    // Trained-state access for the model serializer.
+    const SvmConfig& config() const { return config_; }
+    std::span<const PairMachine> machines() const { return machines_; }
 
+    /// Rebuilds a trained ensemble from persisted state. Validates that
+    /// `classes` is sorted, unique, and >= 2 entries; that there is
+    /// exactly one trained machine per unordered class pair (in the
+    /// canonical pair order train() produces); and that every machine
+    /// shares one feature width. Throws wimi::Error otherwise.
+    static MulticlassSvm restore(const SvmConfig& config,
+                                 std::vector<int> classes,
+                                 std::vector<PairMachine> machines);
+
+private:
     SvmConfig config_;
     std::vector<int> classes_;
     std::vector<PairMachine> machines_;

@@ -1,0 +1,47 @@
+#include "serve/model.hpp"
+
+#include "common/error.hpp"
+#include "core/material_database.hpp"
+
+namespace wimi::serve {
+
+void TrainedModel::validate() const {
+    ensure(svm.trained(), "TrainedModel: SVM is not trained");
+    ensure(scaler.fitted(), "TrainedModel: scaler is not fitted");
+    ensure(!pairs.empty(), "TrainedModel: no antenna pairs");
+    ensure(!subcarriers.empty(), "TrainedModel: no subcarriers");
+    const std::size_t width = feature_width();
+    // One Omega per (subcarrier, pair) is the feature-vector contract of
+    // extract_feature_vector; a model whose scaler width disagrees with
+    // its calibration cannot have come from a consistent training run.
+    ensure(width == subcarriers.size() * pairs.size(),
+           "TrainedModel: scaler width does not match subcarriers x pairs");
+    for (const auto& machine : svm.machines()) {
+        ensure(machine.svm.width() == width,
+               "TrainedModel: SVM feature width does not match scaler");
+    }
+    ensure(!class_names.empty(), "TrainedModel: no class names");
+    for (const int label : svm.classes()) {
+        ensure(label >= 0 &&
+                   static_cast<std::size_t>(label) < class_names.size(),
+               "TrainedModel: SVM class id outside class_names");
+    }
+}
+
+TrainedModel snapshot_model(const core::Wimi& wimi) {
+    ensure(wimi.trained(), "snapshot_model: wimi is not trained");
+    ensure(wimi.config().classifier == core::ClassifierKind::kSvm,
+           "snapshot_model: only the SVM backend is persistable");
+    TrainedModel model;
+    model.feature = wimi.config().feature;
+    model.pairs = wimi.pairs();
+    model.subcarriers = wimi.subcarriers();
+    const auto names = wimi.database().names();
+    model.class_names.assign(names.begin(), names.end());
+    model.scaler = wimi.scaler();
+    model.svm = wimi.svm();
+    model.validate();
+    return model;
+}
+
+}  // namespace wimi::serve

@@ -52,6 +52,43 @@ std::vector<int> train_and_predict(const ml::Dataset& train,
     return predictions;
 }
 
+/// One simulated measurement to capture: which liquid, its class label,
+/// and the serially pre-drawn stochastic inputs (determinism contract).
+struct CaptureTask {
+    rf::Liquid liquid = rf::Liquid::kPureWater;
+    int label = 0;
+    rf::Vec2 offset;
+    std::uint64_t session_seed = 0;
+};
+
+/// Draws the (liquid x repetition) capture schedule serially, in the
+/// legacy loop order, so the rng stream is consumed identically at every
+/// execution width. Shared by the training and serving paths: for equal
+/// seeds they capture the same measurements.
+std::vector<CaptureTask> draw_capture_tasks(const ExperimentConfig& config) {
+    ensure(!config.liquids.empty(), "capture schedule: no liquids configured");
+    ensure(config.repetitions >= 1,
+           "capture schedule: repetitions must be >= 1");
+    Rng rng(config.seed);
+    std::vector<CaptureTask> tasks;
+    tasks.reserve(config.liquids.size() * config.repetitions);
+    for (std::size_t li = 0; li < config.liquids.size(); ++li) {
+        for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+            // Each repetition is a fresh capture session with the beaker
+            // repositioned imperfectly, as when an experimenter swaps and
+            // refills it.
+            CaptureTask task;
+            task.liquid = config.liquids[li];
+            task.label = static_cast<int>(li);
+            task.offset = {rng.gaussian(0.0, config.position_jitter_m),
+                           rng.gaussian(0.0, config.position_jitter_m)};
+            task.session_seed = rng.next_u64();
+            tasks.push_back(task);
+        }
+    }
+    return tasks;
+}
+
 /// Mean per-feature variance of a dataset: the paper's environment
 /// comparison in one number (noisier environments spread the Omega
 /// features further; the library's drop in accuracy shows up here before
@@ -133,41 +170,10 @@ core::Wimi make_calibrated_wimi(const ExperimentConfig& config) {
 
 ml::Dataset build_feature_dataset(const ExperimentConfig& config,
                                   const core::Wimi& wimi) {
-    ensure(!config.liquids.empty(),
-           "build_feature_dataset: no liquids configured");
-    ensure(config.repetitions >= 1,
-           "build_feature_dataset: repetitions must be >= 1");
     WIMI_TRACE_SPAN("harness.build_dataset");
 
     const Scenario scenario(config.scenario);
-    Rng rng(config.seed);
-
-    // Determinism contract (exec/parallel.hpp): draw every stochastic
-    // input — the beaker repositioning offset and the capture session
-    // seed per (liquid, repetition) — serially, in the legacy loop
-    // order, so the rng stream is consumed identically at every width.
-    struct CaptureTask {
-        rf::Liquid liquid = rf::Liquid::kPureWater;
-        int label = 0;
-        rf::Vec2 offset;
-        std::uint64_t session_seed = 0;
-    };
-    std::vector<CaptureTask> tasks;
-    tasks.reserve(config.liquids.size() * config.repetitions);
-    for (std::size_t li = 0; li < config.liquids.size(); ++li) {
-        for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
-            // Each repetition is a fresh capture session with the beaker
-            // repositioned imperfectly, as when an experimenter swaps and
-            // refills it.
-            CaptureTask task;
-            task.liquid = config.liquids[li];
-            task.label = static_cast<int>(li);
-            task.offset = {rng.gaussian(0.0, config.position_jitter_m),
-                           rng.gaussian(0.0, config.position_jitter_m)};
-            task.session_seed = rng.next_u64();
-            tasks.push_back(task);
-        }
-    }
+    const std::vector<CaptureTask> tasks = draw_capture_tasks(config);
 
     // Fan out the expensive capture + feature extraction, then assemble
     // the dataset in task order.
@@ -255,6 +261,84 @@ ExperimentResult run_identification_experiment(
     run.note("accuracy", result.accuracy);
     run.note("mean_recall", result.mean_recall);
     run.append_to_default_ledger(config.run_ledger_path);
+    return result;
+}
+
+serve::TrainedModel train_experiment_model(const ExperimentConfig& config) {
+    WIMI_TRACE_SPAN("harness.train_model");
+    ensure(config.wimi.classifier == core::ClassifierKind::kSvm,
+           "train_experiment_model: model export requires the SVM backend");
+    core::Wimi wimi = make_calibrated_wimi(config);
+    const ml::Dataset data = build_feature_dataset(config, wimi);
+    for (std::size_t row = 0; row < data.size(); ++row) {
+        const auto li = static_cast<std::size_t>(data.label(row));
+        wimi.enroll_features(rf::liquid_name(config.liquids[li]),
+                             data.features(row));
+    }
+    wimi.train();
+    return serve::snapshot_model(wimi);
+}
+
+ModelPredictions predict_experiment(const serve::InferenceEngine& engine,
+                                    const ExperimentConfig& config) {
+    WIMI_TRACE_SPAN("harness.predict_model");
+    // The model's class ids must mean the same liquids as this
+    // experiment's labels, or the comparison silently pairs mismatched
+    // classes.
+    const std::vector<std::string>& names = engine.model().class_names;
+    ensure(names.size() == config.liquids.size(),
+           "predict_experiment: model class count does not match liquids");
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        ensure(names[i] == rf::liquid_name(config.liquids[i]),
+               "predict_experiment: model classes do not match the "
+               "experiment's liquids");
+    }
+
+    const Scenario scenario(config.scenario);
+    const std::vector<CaptureTask> tasks = draw_capture_tasks(config);
+    const auto captures = exec::parallel_map<MeasurementPair>(
+        tasks.size(),
+        [&](std::size_t t) {
+            return scenario.capture_measurement(
+                tasks[t].liquid, tasks[t].session_seed, tasks[t].offset);
+        },
+        {.label = "harness.capture", .threads = config.threads});
+
+    std::vector<serve::Observation> batch;
+    batch.reserve(captures.size());
+    for (const MeasurementPair& capture : captures) {
+        batch.push_back({&capture.baseline, &capture.target});
+    }
+    const std::vector<serve::Prediction> predictions =
+        engine.predict_batch(batch, {.threads = config.threads});
+
+    ModelPredictions out;
+    out.class_names = names;
+    out.truth.reserve(tasks.size());
+    out.predicted.reserve(tasks.size());
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+        out.truth.push_back(tasks[t].label);
+        out.predicted.push_back(predictions[t].material_id);
+    }
+    return out;
+}
+
+ExperimentResult evaluate_with_model(const serve::InferenceEngine& engine,
+                                     const ExperimentConfig& config) {
+    const ModelPredictions predictions = predict_experiment(engine, config);
+    std::vector<int> labels(config.liquids.size());
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        labels[i] = static_cast<int>(i);
+    }
+    ml::ConfusionMatrix confusion(std::move(labels),
+                                  predictions.class_names);
+    for (std::size_t t = 0; t < predictions.truth.size(); ++t) {
+        confusion.record(predictions.truth[t], predictions.predicted[t]);
+    }
+    ExperimentResult result{std::move(confusion), 0.0, 0.0,
+                            predictions.class_names};
+    result.accuracy = result.confusion.accuracy();
+    result.mean_recall = result.confusion.mean_recall();
     return result;
 }
 

@@ -13,6 +13,8 @@
 #include "core/wimi.hpp"
 #include "ml/metrics.hpp"
 #include "rf/material.hpp"
+#include "serve/inference.hpp"
+#include "serve/model.hpp"
 #include "sim/scenario.hpp"
 
 namespace wimi::sim {
@@ -75,5 +77,39 @@ ExperimentResult run_identification_experiment(
 ExperimentResult evaluate_dataset(const ml::Dataset& data,
                                   const ExperimentConfig& config,
                                   std::vector<std::string> class_names);
+
+/// Trains a deployable model on the experiment's full enrollment set (no
+/// cross-validation): calibrate, capture every (liquid x repetition)
+/// measurement, fit the scaler + one-vs-one SVM on all rows, and
+/// snapshot the result. Requires the SVM classifier backend. This is the
+/// training half of "train once, infer many"; persist the returned model
+/// with serve::save_model_file.
+serve::TrainedModel train_experiment_model(const ExperimentConfig& config);
+
+/// Per-measurement outcome of classifying one experiment's capture
+/// schedule with a loaded model, in schedule order. `predicted[i]` is
+/// bit-identical at every thread width (exec determinism contract), so
+/// two processes running the same config against the same model must
+/// produce element-wise equal vectors — the cross-process golden check.
+struct ModelPredictions {
+    std::vector<int> truth;
+    std::vector<int> predicted;
+    std::vector<std::string> class_names;
+};
+
+/// Captures one measurement per (liquid x repetition) with `config.seed`
+/// (use a seed different from training so the measurements are unseen)
+/// and classifies each through engine.predict_batch at `config.threads`
+/// width. The model's class names must match the experiment's liquids
+/// exactly (same ids), else wimi::Error.
+ModelPredictions predict_experiment(const serve::InferenceEngine& engine,
+                                    const ExperimentConfig& config);
+
+/// Evaluates a loaded model against freshly captured measurements from
+/// `config` — the inference half of "train once, infer many", runnable
+/// in a process that never saw the training data. predict_experiment
+/// reduced to its confusion matrix.
+ExperimentResult evaluate_with_model(const serve::InferenceEngine& engine,
+                                     const ExperimentConfig& config);
 
 }  // namespace wimi::sim

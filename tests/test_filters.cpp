@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/error.hpp"
@@ -163,6 +164,55 @@ INSTANTIATE_TEST_SUITE_P(
     Designs, ButterworthProperty,
     ::testing::Combine(::testing::Values(1, 2, 3, 4, 6),
                        ::testing::Values(2.0, 5.0, 10.0, 20.0)));
+
+TEST(FiltersEdgeCases, MedianFilterRejectsNonFinite) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    for (const double bad : {nan, inf, -inf}) {
+        const std::vector<double> v = {1.0, 2.0, bad, 4.0, 5.0};
+        EXPECT_THROW(median_filter(v, 3), Error);
+    }
+}
+
+TEST(FiltersEdgeCases, SlidingMeanPropagatesNonFiniteLocally) {
+    // A NaN contaminates exactly the windows that cover it and no others.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const std::vector<double> v = {1.0, 1.0, 1.0, 1.0, nan, 1.0, 1.0, 1.0, 1.0};
+    const auto out = sliding_mean_filter(v, 3);
+    ASSERT_EQ(out.size(), v.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        if (i >= 3 && i <= 5) {
+            EXPECT_TRUE(std::isnan(out[i])) << "index " << i;
+        } else {
+            EXPECT_DOUBLE_EQ(out[i], 1.0) << "index " << i;
+        }
+    }
+}
+
+TEST(FiltersEdgeCases, SingleSampleInputs) {
+    const std::vector<double> one = {3.25};
+    EXPECT_EQ(median_filter(one, 5), one);
+    EXPECT_EQ(sliding_mean_filter(one, 5), one);
+    const ButterworthLowPass lp(2, 2.0, 100.0);
+    EXPECT_EQ(lp.filter(one).size(), 1u);
+    // filtfilt's reflective pad degenerates to zero for n == 1.
+    EXPECT_EQ(lp.filtfilt(one).size(), 1u);
+}
+
+TEST(FiltersEdgeCases, ConstantInputsPassThrough) {
+    const std::vector<double> flat(256, 2.5);
+    EXPECT_EQ(median_filter(flat, 7), flat);
+    EXPECT_EQ(sliding_mean_filter(flat, 7), flat);
+    // filtfilt zero-initializes each section's state, so a startup
+    // transient rings near both edges before the reflective pad absorbs
+    // it; only the interior is expected to sit at the DC level.
+    const ButterworthLowPass lp(4, 5.0, 100.0);
+    const auto out = lp.filtfilt(flat);
+    ASSERT_EQ(out.size(), flat.size());
+    for (std::size_t i = 64; i + 64 < out.size(); ++i) {
+        EXPECT_NEAR(out[i], 2.5, 5e-4) << "index " << i;
+    }
+}
 
 }  // namespace
 }  // namespace wimi::dsp

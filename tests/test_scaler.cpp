@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -76,6 +78,79 @@ TEST(Scaler, ExposesMoments) {
     ASSERT_TRUE(scaler.fitted());
     EXPECT_DOUBLE_EQ(scaler.means()[0], 3.0);
     EXPECT_DOUBLE_EQ(scaler.stddevs()[0], 1.0);
+}
+
+// Regression: a bitwise-constant feature of large magnitude used to get a
+// stddev of pure accumulation rounding (~1e-10 at 1e7), and dividing by
+// it amplified the rounding noise into O(1) garbage that varied across
+// fold splits. The fix pins constant features to unit scale with the
+// exact constant as the mean.
+TEST(Scaler, LargeMagnitudeConstantFeatureTransformsToExactZero) {
+    const double big = 1.2345678e7;
+    Dataset data(2);
+    for (int i = 0; i < 257; ++i) {
+        data.add(std::vector<double>{big, static_cast<double>(i)}, 0);
+    }
+    StandardScaler scaler;
+    scaler.fit(data);
+    EXPECT_DOUBLE_EQ(scaler.means()[0], big);
+    EXPECT_DOUBLE_EQ(scaler.stddevs()[0], 1.0);
+    const auto out = scaler.transform(std::vector<double>{big, 128.0});
+    EXPECT_EQ(out[0], 0.0);  // exactly zero, not rounding noise / tiny s
+}
+
+TEST(Scaler, NearConstantFeatureIsNotAmplified) {
+    // Spread below the rounding floor for this magnitude: treated like a
+    // constant (centered, unit scale) instead of dividing by ~1e-9.
+    const double big = 1.0e7;
+    Dataset data(1);
+    data.add(std::vector<double>{big}, 0);
+    data.add(std::vector<double>{big + 1e-6}, 0);
+    StandardScaler scaler;
+    scaler.fit(data);
+    EXPECT_DOUBLE_EQ(scaler.stddevs()[0], 1.0);
+    const auto out = scaler.transform(std::vector<double>{big});
+    EXPECT_NEAR(out[0], 0.0, 1e-5);
+}
+
+TEST(Scaler, FitRejectsNonFinite) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    for (const double bad : {nan, inf, -inf}) {
+        Dataset data(2);
+        data.add(std::vector<double>{1.0, 2.0}, 0);
+        data.add(std::vector<double>{1.0, bad}, 0);
+        StandardScaler scaler;
+        EXPECT_THROW(scaler.fit(data), Error);
+    }
+}
+
+TEST(Scaler, RestoreRoundTripIsBitIdentical) {
+    Rng rng(7);
+    Dataset data(3);
+    for (int i = 0; i < 64; ++i) {
+        data.add(std::vector<double>{rng.gaussian(1.0, 0.5),
+                                     rng.uniform(-3.0, 3.0),
+                                     rng.gaussian(-2.0, 4.0)},
+                 0);
+    }
+    StandardScaler original;
+    original.fit(data);
+    const StandardScaler restored = StandardScaler::restore(
+        {original.means().begin(), original.means().end()},
+        {original.stddevs().begin(), original.stddevs().end()});
+    const std::vector<double> probe = {0.25, -1.5, 3.75};
+    EXPECT_EQ(original.transform(probe), restored.transform(probe));
+}
+
+TEST(Scaler, RestoreRejectsInvalidMoments) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(StandardScaler::restore({}, {}), Error);
+    EXPECT_THROW(StandardScaler::restore({1.0, 2.0}, {1.0}), Error);
+    EXPECT_THROW(StandardScaler::restore({nan}, {1.0}), Error);
+    EXPECT_THROW(StandardScaler::restore({1.0}, {nan}), Error);
+    EXPECT_THROW(StandardScaler::restore({1.0}, {0.0}), Error);
+    EXPECT_THROW(StandardScaler::restore({1.0}, {-1.0}), Error);
 }
 
 }  // namespace

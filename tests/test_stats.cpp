@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/error.hpp"
@@ -150,6 +151,68 @@ TEST_P(StatsProperty, InvariantsHold) {
 
 INSTANTIATE_TEST_SUITE_P(RandomInputs, StatsProperty,
                          ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(StatsEdgeCases, OrderStatisticsRejectNonFinite) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    for (const double bad : {nan, inf, -inf}) {
+        const std::vector<double> v = {1.0, bad, 3.0};
+        EXPECT_THROW(median(v), Error);
+        EXPECT_THROW(median_absolute_deviation(v), Error);
+        EXPECT_THROW(robust_sigma(v), Error);
+        EXPECT_THROW(percentile(v, 50.0), Error);
+        EXPECT_THROW(sigma_outlier_indices(v, 3.0), Error);
+        EXPECT_THROW(reject_sigma_outliers(v, 3.0), Error);
+    }
+}
+
+TEST(StatsEdgeCases, MomentsPropagateNonFinite) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const std::vector<double> v = {1.0, nan, 3.0};
+    EXPECT_TRUE(std::isnan(mean(v)));
+    EXPECT_TRUE(std::isnan(variance(v)));
+    EXPECT_TRUE(std::isnan(stddev(v)));
+    EXPECT_TRUE(std::isnan(sample_variance(v)));
+    EXPECT_TRUE(std::isnan(rmse(v, v)));
+    RunningStats rs;
+    rs.add(1.0);
+    rs.add(nan);
+    EXPECT_TRUE(std::isnan(rs.mean()));
+    EXPECT_TRUE(std::isnan(rs.variance()));
+}
+
+TEST(StatsEdgeCases, SingleValueInputs) {
+    const std::vector<double> one = {42.0};
+    EXPECT_DOUBLE_EQ(mean(one), 42.0);
+    EXPECT_DOUBLE_EQ(variance(one), 0.0);
+    EXPECT_DOUBLE_EQ(median(one), 42.0);
+    EXPECT_DOUBLE_EQ(median_absolute_deviation(one), 0.0);
+    EXPECT_DOUBLE_EQ(percentile(one, 0.0), 42.0);
+    EXPECT_DOUBLE_EQ(percentile(one, 100.0), 42.0);
+    EXPECT_TRUE(sigma_outlier_indices(one, 3.0).empty());
+}
+
+TEST(StatsEdgeCases, ConstantInputs) {
+    const std::vector<double> flat(16, -7.5);
+    EXPECT_DOUBLE_EQ(mean(flat), -7.5);
+    EXPECT_DOUBLE_EQ(variance(flat), 0.0);
+    EXPECT_DOUBLE_EQ(median(flat), -7.5);
+    EXPECT_DOUBLE_EQ(robust_sigma(flat), 0.0);
+    // Zero sigma means the band collapses to the mean itself; every
+    // sample equals the mean, so nothing is an outlier.
+    EXPECT_TRUE(sigma_outlier_indices(flat, 3.0).empty());
+    EXPECT_EQ(reject_sigma_outliers(flat, 3.0), flat);
+    // A constant side makes Pearson undefined; the documented result is 0.
+    const std::vector<double> ramp = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0,
+                                      1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+    EXPECT_DOUBLE_EQ(pearson_correlation(flat, ramp), 0.0);
+}
+
+TEST(StatsEdgeCases, EmptySigmaGateYieldsNoOutliers) {
+    const std::vector<double> empty;
+    EXPECT_TRUE(sigma_outlier_indices(empty, 3.0).empty());
+    EXPECT_TRUE(reject_sigma_outliers(empty, 3.0).empty());
+}
 
 }  // namespace
 }  // namespace wimi::dsp

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/error.hpp"
@@ -146,6 +147,42 @@ TEST_P(DenoiseProperty, OutputBounded) {
 
 INSTANTIATE_TEST_SUITE_P(RandomSeries, DenoiseProperty,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(DenoiseEdgeCases, NonFiniteInputRejected) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    for (const double bad : {nan, inf, -inf}) {
+        std::vector<double> v(32, 1.0);
+        v[13] = bad;
+        EXPECT_THROW(wavelet_correlation_denoise(v), Error);
+        EXPECT_THROW(universal_threshold_denoise(v, 2), Error);
+    }
+}
+
+TEST(DenoiseEdgeCases, ConstantInputReconstructsExactly) {
+    // A flat series has zero detail energy at every scale, so both
+    // denoisers should return it (numerically) unchanged.
+    const std::vector<double> flat(64, 5.0);
+    const auto corr = wavelet_correlation_denoise(flat);
+    ASSERT_EQ(corr.size(), flat.size());
+    for (const double x : corr) {
+        EXPECT_NEAR(x, 5.0, 1e-9);
+    }
+    const auto soft = universal_threshold_denoise(flat, 3);
+    ASSERT_EQ(soft.size(), flat.size());
+    for (const double x : soft) {
+        EXPECT_NEAR(x, 5.0, 1e-9);
+    }
+}
+
+TEST(DenoiseEdgeCases, MinimumLengthInputDenoises) {
+    const std::vector<double> eight = {1.0, 2.0, 3.0, 4.0,
+                                       4.0, 3.0, 2.0, 1.0};
+    const auto out = wavelet_correlation_denoise(eight);
+    EXPECT_EQ(out.size(), eight.size());
+    const auto soft = universal_threshold_denoise(eight, 1);
+    EXPECT_EQ(soft.size(), eight.size());
+}
 
 }  // namespace
 }  // namespace wimi::dsp
