@@ -62,10 +62,20 @@ void Wimi::calibrate(const csi::CsiSeries& reference) {
             rms_sum += std::sqrt(
                 phase_difference_variance(reference, pairs_.front(), sc));
         }
-        WIMI_OBS_GAUGE_SET(
-            "quality.calib.residual_deg",
-            rad_to_deg(rms_sum /
-                       static_cast<double>(subcarriers_.size())));
+        const double residual_deg = rad_to_deg(
+            rms_sum / static_cast<double>(subcarriers_.size()));
+        WIMI_OBS_GAUGE_SET("quality.calib.residual_deg", residual_deg);
+        WIMI_OBS_LOG_INFO("core.wimi", "calibration complete",
+                          obs::kv("subcarriers", subcarriers_.size()),
+                          obs::kv("pairs", pairs_.size()),
+                          obs::kv("residual_deg", residual_deg));
+        if (subcarriers_.size() <
+            static_cast<std::size_t>(config_.good_subcarrier_count)) {
+            WIMI_OBS_LOG_WARN(
+                "core.wimi", "calibration selected fewer subcarriers than requested",
+                obs::kv("selected", subcarriers_.size()),
+                obs::kv("requested", config_.good_subcarrier_count));
+        }
     }
 }
 

@@ -189,6 +189,8 @@ void TraceReader::read_header() {
         if (crc.value() != stored) {
             report_.crc_failures += 1;
             WIMI_OBS_COUNT("trace.crc_failures", 1);
+            WIMI_OBS_LOG_WARN("csi.trace", "header CRC mismatch",
+                              obs::kv("policy_strict", strict));
             report_.header_ok = false;
             done_ = true;
             ensure(!strict, "read_trace: header CRC mismatch");
@@ -237,6 +239,10 @@ bool TraceReader::fill_frame_buffer() {
         report_.frames_skipped += 1;
         WIMI_OBS_COUNT("trace.frames_skipped", 1);
     }
+    WIMI_OBS_LOG_DEBUG("csi.trace", "stream truncated mid-trace",
+                       obs::kv("frames_consumed", frames_consumed_),
+                       obs::kv("frames_declared",
+                               report_.frames_declared));
     done_ = true;
     ensure(options_.policy != ReadPolicy::kStrict,
            "read_trace: truncated stream");
@@ -259,6 +265,9 @@ std::optional<CsiFrame> TraceReader::next() {
                 report_.frames_skipped += 1;
                 WIMI_OBS_COUNT("trace.crc_failures", 1);
                 WIMI_OBS_COUNT("trace.frames_skipped", 1);
+                WIMI_OBS_LOG_DEBUG("csi.trace", "frame CRC mismatch",
+                                   obs::kv("frame",
+                                           frames_consumed_ - 1));
                 ensure(!strict, "read_trace: frame CRC mismatch (frame " +
                                     std::to_string(frames_consumed_ - 1) +
                                     ")");
@@ -286,6 +295,8 @@ std::optional<CsiFrame> TraceReader::next() {
             report_.non_finite_frames += 1;
             report_.frames_skipped += 1;
             WIMI_OBS_COUNT("trace.frames_skipped", 1);
+            WIMI_OBS_LOG_DEBUG("csi.trace", "non-finite CSI frame",
+                               obs::kv("frame", frames_consumed_ - 1));
             ensure(!strict,
                    "read_trace: non-finite CSI values (frame " +
                        std::to_string(frames_consumed_ - 1) + ")");
@@ -319,8 +330,21 @@ CsiSeries read_trace(std::istream& stream,
         series.frames.push_back(std::move(*frame));
     }
     series.validate();
+    const TraceReadReport& result = reader.report();
+    if (result.frames_skipped > 0 || result.truncated ||
+        !result.header_ok) {
+        // One aggregate line per damaged trace; the per-frame detail is
+        // at debug level.
+        WIMI_OBS_LOG_WARN("csi.trace", "trace read with damage",
+                          obs::kv("frames_recovered",
+                                  result.frames_recovered),
+                          obs::kv("frames_skipped", result.frames_skipped),
+                          obs::kv("crc_failures", result.crc_failures),
+                          obs::kv("truncated", result.truncated),
+                          obs::kv("header_ok", result.header_ok));
+    }
     if (report != nullptr) {
-        *report = reader.report();
+        *report = result;
     }
     return series;
 }

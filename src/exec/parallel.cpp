@@ -56,15 +56,12 @@ void set_thread_count(std::size_t threads) {
     g_pool = std::move(pool);
 }
 
-void parallel_for(std::size_t n,
-                  const std::function<void(std::size_t)>& body,
-                  const ExecOptions& options) {
-    if (n == 0) {
-        return;
-    }
-    WIMI_OBS_COUNT("exec.tasks", n);
+namespace {
 
-    const auto pool = acquire_pool();
+/// The metrics-instrumented dispatch shared by both context paths.
+void dispatch(const std::shared_ptr<ThreadPool>& pool, std::size_t n,
+              const std::function<void(std::size_t)>& body,
+              const ExecOptions& options) {
     if (!(WIMI_OBS_ENABLED() && options.label != nullptr)) {
         pool->parallel_for(n, body, options.threads);
         return;
@@ -94,6 +91,39 @@ void parallel_for(std::size_t n,
     WIMI_OBS_HISTOGRAM(prefix + ".wall_us", wall.count());
     WIMI_OBS_HISTOGRAM(prefix + ".cpu_us",
                        task_us_total.load(std::memory_order_relaxed));
+}
+
+}  // namespace
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t)>& body,
+                  const ExecOptions& options) {
+    if (n == 0) {
+        return;
+    }
+    WIMI_OBS_COUNT("exec.tasks", n);
+
+    const auto pool = acquire_pool();
+
+#if !defined(WIMI_OBS_DISABLED)
+    if (obs::enabled()) {
+        // Capture the submitting thread's causal context once per fan-out
+        // and install a copy around every task, so spans opened inside
+        // pool workers resolve to the submitting span as parent and log
+        // lines from workers carry the originating trace id. The caller
+        // participates in its own region; re-installing its own context
+        // there is a no-op.
+        const obs::ObsContext submit_ctx = obs::current_context();
+        const std::function<void(std::size_t)> propagated =
+            [&body, &submit_ctx](std::size_t i) {
+                const obs::ScopedObsContext scope(submit_ctx);
+                body(i);
+            };
+        dispatch(pool, n, propagated, options);
+        return;
+    }
+#endif
+    dispatch(pool, n, body, options);
 }
 
 }  // namespace wimi::exec

@@ -1,0 +1,53 @@
+#include "obs/context.hpp"
+
+#include <atomic>
+#include <utility>
+
+namespace wimi::obs {
+namespace {
+
+std::atomic<std::uint64_t> g_next_trace_id{1};
+std::atomic<std::uint64_t> g_next_span_id{1};
+
+ObsContext& thread_context() noexcept {
+    static thread_local ObsContext ctx;
+    return ctx;
+}
+
+}  // namespace
+
+const ObsContext& current_context() noexcept {
+    return thread_context();
+}
+
+ObsContext& mutable_current_context() noexcept {
+    return thread_context();
+}
+
+std::uint64_t next_trace_id() noexcept {
+    return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t next_span_id() noexcept {
+    return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedObsContext::ScopedObsContext(const ObsContext& ctx)
+    : saved_(std::move(thread_context())) {
+    thread_context() = ctx;
+}
+
+ScopedObsContext::~ScopedObsContext() {
+    thread_context() = std::move(saved_);
+}
+
+ScopedRequestTag::ScopedRequestTag(std::string tag)
+    : saved_(std::move(thread_context().request_tag)) {
+    thread_context().request_tag = std::move(tag);
+}
+
+ScopedRequestTag::~ScopedRequestTag() {
+    thread_context().request_tag = std::move(saved_);
+}
+
+}  // namespace wimi::obs

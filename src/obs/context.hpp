@@ -1,0 +1,76 @@
+// Trace-context propagation: the per-thread ObsContext that links spans
+// and log lines into one causal trace across thread-pool fan-outs.
+//
+// Every thread carries an implicit ObsContext (trace id + innermost open
+// span id + optional request tag). TraceSpan maintains it: the outermost
+// span on a thread with no inherited context starts a fresh trace; nested
+// spans inherit the trace id and record their parent span id. When
+// exec::parallel_for hands tasks to pool workers it captures the
+// submitting thread's context and installs a copy (ScopedObsContext) in
+// each worker for the duration of the task, so spans opened inside pool
+// tasks resolve to their logical parent on the submitting thread and log
+// lines emitted from workers carry the originating trace id.
+//
+// Ids are process-unique 64-bit counters; 0 means "none".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wimi::obs {
+
+/// The causal context active on the current thread.
+struct ObsContext {
+    std::uint64_t trace_id = 0;  ///< 0 = no trace open
+    std::uint64_t span_id = 0;   ///< innermost open span; parent for new spans
+    std::string request_tag;     ///< free-form correlation tag (e.g. request id)
+
+    bool empty() const noexcept {
+        return trace_id == 0 && span_id == 0 && request_tag.empty();
+    }
+};
+
+/// The calling thread's current context.
+const ObsContext& current_context() noexcept;
+
+/// Mutable access for the span machinery (trace.cpp) and scoped guards.
+/// Application code should not write through this directly.
+ObsContext& mutable_current_context() noexcept;
+
+/// Allocates a fresh process-unique trace id (never 0).
+std::uint64_t next_trace_id() noexcept;
+
+/// Allocates a fresh process-unique span id (never 0).
+std::uint64_t next_span_id() noexcept;
+
+/// Installs `ctx` as the calling thread's context for the current scope
+/// and restores the previous context on destruction. exec::parallel_for
+/// wraps every pool task in one of these.
+class ScopedObsContext {
+public:
+    explicit ScopedObsContext(const ObsContext& ctx);
+    ~ScopedObsContext();
+
+    ScopedObsContext(const ScopedObsContext&) = delete;
+    ScopedObsContext& operator=(const ScopedObsContext&) = delete;
+
+private:
+    ObsContext saved_;
+};
+
+/// Sets the request tag on the current thread's context for the current
+/// scope (restores the previous tag on destruction). Serving paths tag
+/// each request so downstream spans/logs can be correlated.
+class ScopedRequestTag {
+public:
+    explicit ScopedRequestTag(std::string tag);
+    ~ScopedRequestTag();
+
+    ScopedRequestTag(const ScopedRequestTag&) = delete;
+    ScopedRequestTag& operator=(const ScopedRequestTag&) = delete;
+
+private:
+    std::string saved_;
+};
+
+}  // namespace wimi::obs

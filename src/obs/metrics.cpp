@@ -92,8 +92,22 @@ HistogramSummary Histogram::summary() const {
     s.max = atomic_load(max_);
     s.mean = s.sum / static_cast<double>(s.count);
 
+    for (std::size_t b = 0; b < edges_.size(); ++b) {
+        const std::uint64_t in_bucket =
+            buckets_[b].load(std::memory_order_relaxed);
+        if (in_bucket != 0) {
+            s.bucket_le.push_back(edges_[b]);
+            s.bucket_count.push_back(in_bucket);
+        }
+    }
+    s.overflow = buckets_[edges_.size()].load(std::memory_order_relaxed);
+
     // Percentile from the cumulative bucket distribution, interpolating
-    // linearly within the winning bucket and clamping to [min, max].
+    // linearly within the winning bucket. The interpolation range is the
+    // intersection of the bucket with the observed [min, max], so the
+    // estimate never extrapolates past the max-observed sample (the last
+    // non-empty bucket's upper edge can sit far beyond it) nor below the
+    // min-observed one.
     const auto percentile = [&](double q) {
         const double target = q * static_cast<double>(s.count);
         std::uint64_t cumulative = 0;
@@ -104,10 +118,13 @@ HistogramSummary Histogram::summary() const {
                 continue;
             }
             if (static_cast<double>(cumulative + in_bucket) >= target) {
-                const double lower =
-                    (b == 0) ? s.min : edges_[b - 1];
-                const double upper =
-                    (b == edges_.size()) ? s.max : edges_[b];
+                double lower = (b == 0) ? s.min : edges_[b - 1];
+                double upper = (b == edges_.size()) ? s.max : edges_[b];
+                lower = std::max(lower, s.min);
+                upper = std::min(upper, s.max);
+                if (upper < lower) {
+                    upper = lower;
+                }
                 const double fraction =
                     (target - static_cast<double>(cumulative)) /
                     static_cast<double>(in_bucket);

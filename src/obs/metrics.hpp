@@ -75,6 +75,14 @@ struct HistogramSummary {
     double p50 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
+    /// Non-empty finite buckets: upper edge and count, parallel arrays in
+    /// ascending edge order. Observations above the last configured edge
+    /// are in `overflow` (they count toward `count` too). Exposed so the
+    /// report / exporter / Prometheus rendering can reconstruct the
+    /// distribution and wimi_regress rules can see the edges.
+    std::vector<double> bucket_le;
+    std::vector<std::uint64_t> bucket_count;
+    std::uint64_t overflow = 0;
 };
 
 /// Fixed-bucket histogram with percentile estimation.
@@ -107,6 +115,11 @@ public:
     /// Number of NaN/Inf observations rejected from the stats.
     std::uint64_t nonfinite_count() const noexcept {
         return nonfinite_.load(std::memory_order_relaxed);
+    }
+
+    /// The configured ascending upper bucket edges (overflow excluded).
+    const std::vector<double>& bucket_edges() const noexcept {
+        return edges_;
     }
 
     HistogramSummary summary() const;

@@ -7,6 +7,8 @@
 //   WIMI_OBS_COUNT("csi.packets_captured", n); // counter += n
 //   WIMI_OBS_GAUGE_SET("calib.subcarriers_selected", count);
 //   WIMI_OBS_HISTOGRAM("svm.train.passes", passes);
+//   WIMI_OBS_LOG_INFO("sim.harness", "experiment started",
+//                     ::wimi::obs::kv("seed", seed));
 //
 // Building with -DWIMI_OBS_DISABLED (CMake: -DWIMI_ENABLE_OBS=OFF)
 // compiles every macro to nothing — the value expressions are referenced
@@ -16,6 +18,8 @@
 // costs one relaxed atomic load.
 #pragma once
 
+#include "obs/context.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -40,6 +44,27 @@
     static_cast<void>(sizeof(((void)(name), (void)(value), 0)))
 #define WIMI_OBS_HISTOGRAM(name, value) \
     static_cast<void>(sizeof(((void)(name), (void)(value), 0)))
+
+// Log macros compile out the same way: component/message/fields are
+// referenced inside an unevaluated sizeof (fields through the declared-
+// but-never-defined log_fields_unused) so no code runs and no operand
+// draws an unused warning.
+#define WIMI_OBS_LOG_IMPL_(component, message, ...)                   \
+    static_cast<void>(                                                \
+        sizeof(((void)(component), (void)(message),                   \
+                (void)sizeof(::wimi::obs::log_fields_unused(          \
+                    __VA_ARGS__)),                                    \
+                0)))
+#define WIMI_OBS_LOG_TRACE(component, message, ...) \
+    WIMI_OBS_LOG_IMPL_(component, message __VA_OPT__(, ) __VA_ARGS__)
+#define WIMI_OBS_LOG_DEBUG(component, message, ...) \
+    WIMI_OBS_LOG_IMPL_(component, message __VA_OPT__(, ) __VA_ARGS__)
+#define WIMI_OBS_LOG_INFO(component, message, ...) \
+    WIMI_OBS_LOG_IMPL_(component, message __VA_OPT__(, ) __VA_ARGS__)
+#define WIMI_OBS_LOG_WARN(component, message, ...) \
+    WIMI_OBS_LOG_IMPL_(component, message __VA_OPT__(, ) __VA_ARGS__)
+#define WIMI_OBS_LOG_ERROR(component, message, ...) \
+    WIMI_OBS_LOG_IMPL_(component, message __VA_OPT__(, ) __VA_ARGS__)
 
 #else
 
@@ -68,5 +93,34 @@
             ::wimi::obs::registry().histogram(name).record(value); \
         }                                                          \
     } while (0)
+
+// Structured log line at the given level. Fields (zero or more
+// ::wimi::obs::kv(...) pairs) are evaluated only when the line clears
+// both the kill-switch and the level threshold:
+//
+//   WIMI_OBS_LOG_WARN("csi.trace", "frame CRC mismatch",
+//                     ::wimi::obs::kv("frame", index));
+#define WIMI_OBS_LOG_IMPL_(level_, component, message, ...)        \
+    do {                                                           \
+        if (::wimi::obs::log_enabled(level_)) {                    \
+            ::wimi::obs::log_emit((level_), (component), (message), \
+                                  {__VA_ARGS__});                  \
+        }                                                          \
+    } while (0)
+#define WIMI_OBS_LOG_TRACE(component, message, ...)             \
+    WIMI_OBS_LOG_IMPL_(::wimi::obs::LogLevel::kTrace, component, \
+                       message __VA_OPT__(, ) __VA_ARGS__)
+#define WIMI_OBS_LOG_DEBUG(component, message, ...)             \
+    WIMI_OBS_LOG_IMPL_(::wimi::obs::LogLevel::kDebug, component, \
+                       message __VA_OPT__(, ) __VA_ARGS__)
+#define WIMI_OBS_LOG_INFO(component, message, ...)             \
+    WIMI_OBS_LOG_IMPL_(::wimi::obs::LogLevel::kInfo, component, \
+                       message __VA_OPT__(, ) __VA_ARGS__)
+#define WIMI_OBS_LOG_WARN(component, message, ...)             \
+    WIMI_OBS_LOG_IMPL_(::wimi::obs::LogLevel::kWarn, component, \
+                       message __VA_OPT__(, ) __VA_ARGS__)
+#define WIMI_OBS_LOG_ERROR(component, message, ...)             \
+    WIMI_OBS_LOG_IMPL_(::wimi::obs::LogLevel::kError, component, \
+                       message __VA_OPT__(, ) __VA_ARGS__)
 
 #endif  // WIMI_OBS_DISABLED

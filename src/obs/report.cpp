@@ -32,6 +32,21 @@ std::string summary_json(const HistogramSummary& s) {
     out += ",\"p50\":" + json::number(s.p50);
     out += ",\"p95\":" + json::number(s.p95);
     out += ",\"p99\":" + json::number(s.p99);
+    out += ",\"bucket_le\":[";
+    for (std::size_t i = 0; i < s.bucket_le.size(); ++i) {
+        if (i != 0) {
+            out += ',';
+        }
+        out += json::number(s.bucket_le[i]);
+    }
+    out += "],\"bucket_count\":[";
+    for (std::size_t i = 0; i < s.bucket_count.size(); ++i) {
+        if (i != 0) {
+            out += ',';
+        }
+        out += std::to_string(s.bucket_count[i]);
+    }
+    out += "],\"overflow\":" + std::to_string(s.overflow);
     out += '}';
     return out;
 }
@@ -46,9 +61,8 @@ void write_text_file(const std::string& path, const std::string& text) {
 
 }  // namespace
 
-std::string metrics_to_json(const MetricsRegistry& reg) {
-    const MetricsRegistry::Snapshot snap = reg.snapshot();
-    std::string out = "{\"schema\":\"wimi.metrics.v1\",\"counters\":{";
+std::string metrics_body_json(const MetricsRegistry::Snapshot& snap) {
+    std::string out = "\"counters\":{";
     bool first = true;
     for (const auto& [name, value] : snap.counters) {
         append_member(out, first, name, std::to_string(value));
@@ -63,7 +77,14 @@ std::string metrics_to_json(const MetricsRegistry& reg) {
     for (const auto& [name, summary] : snap.histograms) {
         append_member(out, first, name, summary_json(summary));
     }
-    out += "}}";
+    out += '}';
+    return out;
+}
+
+std::string metrics_to_json(const MetricsRegistry& reg) {
+    std::string out = "{\"schema\":\"wimi.metrics.v1\",";
+    out += metrics_body_json(reg.snapshot());
+    out += '}';
     return out;
 }
 

@@ -18,9 +18,20 @@ namespace wimi::obs {
 ///    "counters":{"csi.packets_captured":4000,...},
 ///    "gauges":{"calib.subcarriers_selected":4,...},
 ///    "histograms":{"svm.train.support_vectors":
-///        {"count":45,"sum":...,"min":...,"max":...,"mean":...,
-///         "p50":...,"p95":...,"p99":...},...}}
+///        {"count":45,"nonfinite":0,"sum":...,"min":...,"max":...,
+///         "mean":...,"p50":...,"p95":...,"p99":...,
+///         "bucket_le":[...],"bucket_count":[...],"overflow":0},...}}
+///
+/// bucket_le/bucket_count are the non-empty finite buckets (parallel
+/// arrays, ascending edges); overflow counts observations above the last
+/// configured edge.
 std::string metrics_to_json(const MetricsRegistry& reg = registry());
+
+/// The members of the wimi.metrics.v1 document after the schema tag —
+/// `"counters":{...},"gauges":{...},"histograms":{...}` with no enclosing
+/// braces. Shared by metrics_to_json and the telemetry exporter, which
+/// wraps the same body with per-flush members (seq, deltas, ...).
+std::string metrics_body_json(const MetricsRegistry::Snapshot& snap);
 
 /// Writes metrics_to_json(reg) to `path`. Throws wimi::Error on I/O
 /// failure.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 
+#include "obs/context.hpp"
 #include "obs/json.hpp"
 
 namespace wimi::obs {
@@ -116,6 +117,18 @@ ThreadBuffer& thread_buffer() {
 TraceSpan::TraceSpan(const char* name) noexcept
     : name_(name), active_(enabled()) {
     if (active_) {
+        // Thread the causal context: inherit the enclosing span (possibly
+        // propagated from another thread by exec) as parent, open a fresh
+        // trace when there is none, and become the innermost span.
+        ObsContext& ctx = mutable_current_context();
+        parent_span_id_ = ctx.span_id;
+        if (ctx.trace_id == 0) {
+            ctx.trace_id = next_trace_id();
+            owns_trace_ = true;
+        }
+        trace_id_ = ctx.trace_id;
+        span_id_ = next_span_id();
+        ctx.span_id = span_id_;
         ++thread_buffer().depth;
         start_ = std::chrono::steady_clock::now();
     }
@@ -135,11 +148,35 @@ TraceSpan::~TraceSpan() {
         std::chrono::duration<double, std::micro>(end - start_).count();
     event.tid = buffer.tid;
     event.depth = buffer.depth;
+    event.trace_id = trace_id_;
+    event.span_id = span_id_;
+    event.parent_span_id = parent_span_id_;
     buffer.push(std::move(event));
+    // Spans are strictly scoped, so restoring the parent rewinds the
+    // context exactly (LIFO per thread).
+    ObsContext& ctx = mutable_current_context();
+    ctx.span_id = parent_span_id_;
+    if (owns_trace_) {
+        ctx.trace_id = 0;
+    }
 }
 
 std::size_t trace_ring_capacity() noexcept {
     return kRingCapacity;
+}
+
+double trace_now_us() noexcept {
+    return to_us(std::chrono::steady_clock::now());
+}
+
+std::uint32_t current_thread_tid() {
+    return thread_buffer().tid;
+}
+
+std::string current_thread_name() {
+    ThreadBuffer& buffer = thread_buffer();
+    const std::lock_guard<std::mutex> lock(buffer.mutex);
+    return buffer.name;
 }
 
 void set_thread_name(std::string name) {
@@ -226,6 +263,12 @@ std::string trace_to_json() {
         out += std::to_string(e.tid);
         out += ",\"args\":{\"depth\":";
         out += std::to_string(e.depth);
+        out += ",\"trace\":";
+        out += std::to_string(e.trace_id);
+        out += ",\"span\":";
+        out += std::to_string(e.span_id);
+        out += ",\"parent\":";
+        out += std::to_string(e.parent_span_id);
         out += "}}";
     }
     out += "]}";

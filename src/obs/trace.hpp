@@ -30,11 +30,20 @@ struct TraceEvent {
     double dur_us = 0.0;    ///< duration, microseconds
     std::uint32_t tid = 0;  ///< stable per-thread id (1-based)
     std::uint32_t depth = 0;  ///< nesting depth at entry (0 = outermost)
+    std::uint64_t trace_id = 0;  ///< causal trace this span belongs to
+    std::uint64_t span_id = 0;   ///< process-unique id of this span
+    std::uint64_t parent_span_id = 0;  ///< 0 = root of its trace
 };
 
 /// RAII span: times the enclosing scope and records a TraceEvent on
 /// destruction. `name` must outlive the span (string literals in
 /// practice).
+///
+/// Spans also maintain the thread's ObsContext (obs/context.hpp): the
+/// outermost span with no inherited context opens a fresh trace; nested
+/// spans — including spans in pool workers running under a propagated
+/// ScopedObsContext — inherit the trace id and record the enclosing span
+/// as their parent.
 class TraceSpan {
 public:
     explicit TraceSpan(const char* name) noexcept;
@@ -47,6 +56,10 @@ private:
     const char* name_;
     std::chrono::steady_clock::time_point start_;
     bool active_;
+    bool owns_trace_ = false;  ///< this span opened the trace id
+    std::uint64_t trace_id_ = 0;
+    std::uint64_t span_id_ = 0;
+    std::uint64_t parent_span_id_ = 0;
 };
 
 /// RAII timer recording elapsed microseconds into `sink` on destruction;
@@ -73,6 +86,17 @@ private:
 /// Per-thread ring capacity: once a thread has this many finished spans,
 /// the oldest are overwritten.
 std::size_t trace_ring_capacity() noexcept;
+
+/// Microseconds elapsed since the process trace epoch — the same clock
+/// and origin as TraceEvent.ts_us, so log timestamps align with spans.
+double trace_now_us() noexcept;
+
+/// Stable 1-based id of the calling thread (same value TraceEvent.tid
+/// records for spans on this thread).
+std::uint32_t current_thread_tid();
+
+/// The calling thread's name as set via set_thread_name ("" if unnamed).
+std::string current_thread_name();
 
 /// Names the calling thread in trace exports (Chrome "thread_name"
 /// metadata events, shown as lane labels in chrome://tracing/Perfetto).

@@ -57,6 +57,13 @@ InferenceEngine InferenceEngine::load(const std::filesystem::path& path) {
         std::chrono::steady_clock::now() - start);
     WIMI_OBS_HISTOGRAM("serve.model_load_us",
                        static_cast<double>(elapsed.count()));
+    WIMI_OBS_LOG_INFO("serve.inference", "model loaded",
+                      obs::kv("path", path.string()),
+                      obs::kv("digest", info.digest),
+                      obs::kv("classes", info.class_count),
+                      obs::kv("support_vectors",
+                              info.support_vector_total),
+                      obs::kv("load_us", elapsed.count()));
     return engine;
 }
 
@@ -140,6 +147,9 @@ std::vector<Prediction> InferenceEngine::predict_batch(
         std::chrono::steady_clock::now() - start);
     WIMI_OBS_HISTOGRAM("serve.batch.wall_us",
                        static_cast<double>(elapsed.count()));
+    WIMI_OBS_LOG_DEBUG("serve.inference", "batch predicted",
+                       ::wimi::obs::kv("batch_size", batch.size()),
+                       ::wimi::obs::kv("wall_us", elapsed.count()));
     return predictions;
 }
 

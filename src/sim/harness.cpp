@@ -210,11 +210,28 @@ ml::Dataset build_feature_dataset(const ExperimentConfig& config,
                 sum += v;
                 worst = std::max(worst, v);
             }
-            WIMI_OBS_GAUGE_SET("quality.feature.psi",
-                               sum / static_cast<double>(psi.size()));
+            const double mean_psi =
+                sum / static_cast<double>(psi.size());
+            WIMI_OBS_GAUGE_SET("quality.feature.psi", mean_psi);
             WIMI_OBS_GAUGE_SET("quality.feature.psi_max", worst);
+            WIMI_OBS_LOG_INFO("sim.harness", "feature drift probe",
+                              obs::kv("psi_mean", mean_psi),
+                              obs::kv("psi_max", worst),
+                              obs::kv("reference",
+                                      config.psi_reference_path));
+            if (worst > 0.25) {
+                // 0.25 is the conventional "significant shift" PSI
+                // threshold (matches the regress gate's tolerance).
+                WIMI_OBS_LOG_WARN("sim.harness",
+                                  "feature drift above PSI threshold",
+                                  obs::kv("psi_max", worst),
+                                  obs::kv("threshold", 0.25));
+            }
         }
     }
+    WIMI_OBS_LOG_DEBUG("sim.harness", "feature dataset built",
+                       obs::kv("rows", data.size()),
+                       obs::kv("tasks", tasks.size()));
     return data;
 }
 
@@ -244,9 +261,18 @@ ExperimentResult run_identification_experiment(
     run.set_seed(config.seed);
     run.set_threads(config.threads);
     run.set_config(serialize_config(config));
+    WIMI_OBS_LOG_INFO(
+        "sim.harness", "experiment started",
+        obs::kv("environment",
+                rf::environment_name(config.scenario.environment)),
+        obs::kv("seed", config.seed),
+        obs::kv("threads", config.threads),
+        obs::kv("liquids", config.liquids.size()));
 
     const core::Wimi wimi = make_calibrated_wimi(config);
+    WIMI_OBS_LOG_INFO("sim.harness", "calibration stage complete");
     const ml::Dataset data = build_feature_dataset(config, wimi);
+    WIMI_OBS_LOG_INFO("sim.harness", "capture stage complete");
 
     std::vector<std::string> names;
     names.reserve(config.liquids.size());
@@ -255,11 +281,15 @@ ExperimentResult run_identification_experiment(
     }
     ExperimentResult result =
         evaluate_dataset(data, config, std::move(names));
+    WIMI_OBS_LOG_INFO("sim.harness", "evaluation stage complete",
+                      obs::kv("accuracy", result.accuracy),
+                      obs::kv("mean_recall", result.mean_recall));
 
     run.note("environment",
              std::string(rf::environment_name(config.scenario.environment)));
     run.note("accuracy", result.accuracy);
     run.note("mean_recall", result.mean_recall);
+    run.note("log_run", obs::Logger::instance().run_id());
     run.append_to_default_ledger(config.run_ledger_path);
     return result;
 }

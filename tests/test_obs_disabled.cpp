@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 
 namespace wimi::obs {
@@ -53,6 +54,41 @@ TEST(ObsDisabled, MacroArgumentsAreNotEvaluated) {
     // unused warnings) but never executed.
     EXPECT_EQ(calls, 0);
     EXPECT_EQ(registry().size(), 0u);
+}
+
+TEST(ObsDisabled, LogMacrosCompileOutEntirely) {
+    set_enabled(true);
+    Logger::instance().set_level(LogLevel::kTrace);  // most permissive
+    const std::uint64_t lines_before = Logger::instance().lines_written();
+    const std::size_t metrics_before = registry().size();
+
+    WIMI_OBS_LOG_TRACE("disabled.log", "trace line");
+    WIMI_OBS_LOG_DEBUG("disabled.log", "debug line");
+    WIMI_OBS_LOG_INFO("disabled.log", "info line");
+    WIMI_OBS_LOG_WARN("disabled.log", "warn line");
+    WIMI_OBS_LOG_ERROR("disabled.log", "error line");
+
+    // No line written, and not even the log.lines counters were created.
+    EXPECT_EQ(Logger::instance().lines_written(), lines_before);
+    EXPECT_EQ(registry().size(), metrics_before);
+    Logger::instance().set_level(LogLevel::kInfo);
+}
+
+TEST(ObsDisabled, LogFieldExpressionsAreNotEvaluated) {
+    int calls = 0;
+    const auto count_call = [&calls] {
+        ++calls;
+        return 1;
+    };
+    // Fields are referenced through an unevaluated call to the declared-
+    // but-never-defined log_fields_unused — if this expansion ever
+    // evaluated (or merely codegen'd) them, the link would fail too.
+    WIMI_OBS_LOG_ERROR("disabled.log", "with fields",
+                       kv("cost", count_call()),
+                       kv("flag", true));
+    WIMI_OBS_LOG_INFO("disabled.log", "single field",
+                      kv("cost", count_call()));
+    EXPECT_EQ(calls, 0);
 }
 
 TEST(ObsDisabled, GuardedBlocksFoldAway) {

@@ -164,6 +164,60 @@ TEST(ObsMetrics, HeavyTailPercentilesStayWithinObservedRange) {
     EXPECT_GE(s.p99, s.p50);
 }
 
+TEST(ObsMetrics, SummaryExposesNonEmptyBucketsAndOverflow) {
+    Histogram h({10.0, 20.0, 30.0});
+    EXPECT_EQ(h.bucket_edges(), (std::vector<double>{10.0, 20.0, 30.0}));
+    h.record(5.0);    // bucket le=10
+    h.record(15.0);   // bucket le=20
+    h.record(15.5);   // bucket le=20
+    h.record(100.0);  // past the last edge -> overflow
+    const HistogramSummary s = h.summary();
+    // Only non-empty finite buckets are exported (le=30 is empty), as
+    // parallel arrays in ascending edge order; overflow is separate.
+    ASSERT_EQ(s.bucket_le, (std::vector<double>{10.0, 20.0}));
+    ASSERT_EQ(s.bucket_count, (std::vector<std::uint64_t>{1u, 2u}));
+    EXPECT_EQ(s.overflow, 1u);
+    // Buckets plus overflow account for every finite observation.
+    std::uint64_t total = s.overflow;
+    for (const std::uint64_t c : s.bucket_count) {
+        total += c;
+    }
+    EXPECT_EQ(total, s.count);
+
+    h.reset();
+    const HistogramSummary cleared = h.summary();
+    EXPECT_TRUE(cleared.bucket_le.empty());
+    EXPECT_EQ(cleared.overflow, 0u);
+}
+
+TEST(ObsMetrics, PercentilesInterpolateWithinObservedBucketRange) {
+    // Both samples land in the (10, 20] bucket, but the observed range is
+    // [11, 12]: interpolation must stay inside the intersection instead
+    // of sweeping the full bucket width.
+    Histogram h({10.0, 20.0});
+    h.record(11.0);
+    h.record(12.0);
+    const HistogramSummary s = h.summary();
+    EXPECT_GE(s.p50, 11.0);
+    EXPECT_LE(s.p50, 12.0);
+    EXPECT_GE(s.p95, 11.0);
+    EXPECT_LE(s.p95, 12.0);
+    EXPECT_GE(s.p99, s.p50);
+    EXPECT_LE(s.p99, 12.0);
+}
+
+TEST(ObsMetrics, OverflowPercentilesBoundedByMinAndMax) {
+    // All mass past the last edge: the overflow bucket's interpolation
+    // range is [max(last_edge, min), max].
+    Histogram h({1.0});
+    h.record(50.0);
+    h.record(60.0);
+    const HistogramSummary s = h.summary();
+    EXPECT_EQ(s.overflow, 2u);
+    EXPECT_GE(s.p50, 50.0);
+    EXPECT_LE(s.p99, 60.0);
+}
+
 TEST(ObsMetrics, ResetDuringConcurrentAddsKeepsMetricsUsable) {
     // reset() zeroes in place while writers race it: the exact final
     // counts are unspecified, but references stay valid, nothing crashes,

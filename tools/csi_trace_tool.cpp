@@ -13,18 +13,26 @@
 //   csi_trace_tool generate <trace> [env]  record a simulated capture
 //                                          (env: hall | lab | library)
 //   csi_trace_tool pipeline profile <trace> [--trace-out f] [--metrics-out f]
-//                                          [--run-out f]
+//                                          [--run-out f] [--log-out f]
+//                                          [--telemetry-out f]
 //                                          run the pre-processing pipeline
 //                                          on the trace and export a Chrome
 //                                          trace + metrics JSON (+ append a
-//                                          wimi.run.v1 manifest to the ledger)
+//                                          wimi.run.v1 manifest to the
+//                                          ledger, wimi.log.v1 lines to
+//                                          --log-out, and periodic
+//                                          wimi.metrics.v1 exporter
+//                                          snapshots to --telemetry-out)
 //   csi_trace_tool psi-ref <out.json> [env]
 //                                          build a wimi.psi_ref.v1 feature
 //                                          reference from the standard
 //                                          experiment (drift baseline)
 #include <algorithm>
+#include <chrono>
+#include <filesystem>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -45,6 +53,7 @@
 #include "dsp/stats.hpp"
 #include "exec/parallel.hpp"
 #include "ml/drift.hpp"
+#include "obs/exporter.hpp"
 #include "obs/obs.hpp"
 #include "obs/run_context.hpp"
 #include "sim/harness.hpp"
@@ -224,7 +233,9 @@ int cmd_generate(const std::string& path, const std::string& env_name) {
 int cmd_pipeline_profile(const std::string& path,
                          const std::string& trace_out,
                          const std::string& metrics_out,
-                         const std::string& run_out) {
+                         const std::string& run_out,
+                         const std::string& log_out,
+                         const std::string& telemetry_out) {
     const auto series = csi::read_trace_file(path);
     ensure(series.packet_count() >= 16,
            "pipeline profile: need at least 16 packets");
@@ -234,6 +245,22 @@ int cmd_pipeline_profile(const std::string& path,
     obs::set_enabled(true);
     obs::trace_reset();
     obs::registry().reset();
+    // Both sinks append (a long-lived process keeps one stream); one
+    // profiling run is a fresh capture, so start from empty files.
+    if (!log_out.empty()) {
+        std::filesystem::remove(log_out);
+        obs::Logger::instance().set_path(log_out);
+    }
+
+    // Live telemetry: exporter thread appending wimi.metrics.v1 JSONL
+    // snapshots while the pipeline runs, plus a final flush on stop.
+    std::optional<obs::TelemetryExporter> exporter;
+    if (!telemetry_out.empty()) {
+        std::filesystem::remove(telemetry_out);
+        exporter.emplace(obs::TelemetryExporterOptions{
+            telemetry_out, std::chrono::milliseconds(50), nullptr});
+        exporter->start();
+    }
 
     obs::RunContext run("csi_trace_tool.pipeline");
     run.set_threads(exec::thread_count());
@@ -250,6 +277,10 @@ int cmd_pipeline_profile(const std::string& path,
     const auto pairs = core::all_antenna_pairs(series.antenna_count());
     {
         WIMI_TRACE_SPAN("pipeline.profile");
+        WIMI_OBS_LOG_INFO("tool.pipeline", "pipeline profile started",
+                          obs::kv("trace", path),
+                          obs::kv("packets", series.packet_count()),
+                          obs::kv("threads", exec::thread_count()));
 
         // Stage 0 — signal-quality probes over the raw trace: amplitude
         // CV per subcarrier, antenna-ratio stability, pair ranking.
@@ -271,13 +302,27 @@ int cmd_pipeline_profile(const std::string& path,
         core::Wimi wimi(config);
         wimi.calibrate(series);
 
-        // Stage 3 — amplitude denoising on the selected subcarriers.
+        // Stage 3 — amplitude denoising, fanned out across the full
+        // band on the process pool. Each task opens a span and logs at
+        // debug, so this stage is also the live demonstration of
+        // cross-thread trace-context propagation: worker spans resolve
+        // to pipeline.denoise's trace (wimi_obs trace-check verifies).
         {
             WIMI_TRACE_SPAN("pipeline.denoise");
-            for (const std::size_t sc : wimi.subcarriers()) {
-                core::denoised_amplitude_ratio(series, pairs.front(), sc,
-                                               {});
-            }
+            exec::parallel_for(
+                series.subcarrier_count(),
+                [&](std::size_t sc) {
+                    WIMI_TRACE_SPAN("pipeline.denoise.subcarrier");
+                    core::denoised_amplitude_ratio(series, pairs.front(),
+                                                   sc, {});
+                    WIMI_OBS_LOG_DEBUG("tool.pipeline",
+                                       "subcarrier denoised",
+                                       obs::kv("subcarrier", sc));
+                },
+                {.label = "pipeline.denoise"});
+        }
+        if (exporter.has_value()) {
+            exporter->flush();  // mid-run snapshot: seq 1..n are live
         }
 
         // Stage 4 — features + SVM + identification. The trace doubles
@@ -297,8 +342,13 @@ int cmd_pipeline_profile(const std::string& path,
         wimi.enroll("second-vs-first", target, baseline);
         wimi.train();
         wimi.identify(baseline, target);
+        WIMI_OBS_LOG_INFO("tool.pipeline", "pipeline profile complete");
     }
 
+    if (exporter.has_value()) {
+        exporter->stop();  // final flush with the complete counters
+    }
+    obs::Logger::instance().flush();
     obs::write_chrome_trace(trace_out);
     obs::write_metrics_json(metrics_out);
     const std::string ledger = run.append_to_default_ledger(run_out);
@@ -328,6 +378,13 @@ int cmd_pipeline_profile(const std::string& path,
               << "Metrics:      " << metrics_out << '\n';
     if (!ledger.empty()) {
         std::cout << "Run ledger:   " << ledger << " (wimi.run.v1)\n";
+    }
+    if (!log_out.empty()) {
+        std::cout << "Log:          " << log_out << " (wimi.log.v1)\n";
+    }
+    if (!telemetry_out.empty()) {
+        std::cout << "Telemetry:    " << telemetry_out
+                  << " (wimi.metrics.v1 time-series)\n";
     }
     return 0;
 }
@@ -367,7 +424,8 @@ int usage() {
               << "  csi_trace_tool generate <trace.wcsi> [hall|lab|library]\n"
               << "  csi_trace_tool pipeline profile <trace.wcsi>"
               << " [--trace-out out.json] [--metrics-out out.json]"
-              << " [--run-out ledger.jsonl]\n"
+              << " [--run-out ledger.jsonl] [--log-out log.jsonl]"
+              << " [--telemetry-out telemetry.jsonl]\n"
               << "  csi_trace_tool psi-ref <out.json> [hall|lab|library]\n";
     return 2;
 }
@@ -389,6 +447,8 @@ int main(int argc, char** argv) {
             std::string trace_out = trace_path + ".trace.json";
             std::string metrics_out = trace_path + ".metrics.json";
             std::string run_out;
+            std::string log_out;
+            std::string telemetry_out;
             if ((argc - 4) % 2 != 0) {
                 return usage();  // a flag is missing its value
             }
@@ -400,12 +460,17 @@ int main(int argc, char** argv) {
                     metrics_out = argv[i + 1];
                 } else if (flag == "--run-out") {
                     run_out = argv[i + 1];
+                } else if (flag == "--log-out") {
+                    log_out = argv[i + 1];
+                } else if (flag == "--telemetry-out") {
+                    telemetry_out = argv[i + 1];
                 } else {
                     return usage();
                 }
             }
             return cmd_pipeline_profile(trace_path, trace_out,
-                                        metrics_out, run_out);
+                                        metrics_out, run_out, log_out,
+                                        telemetry_out);
         }
         if (command == "psi-ref") {
             return cmd_psi_ref(path, argc > 3 ? argv[3] : "lab");
