@@ -37,6 +37,9 @@ struct RunScope {
     explicit RunScope(std::string tool, std::uint64_t seed = 7)
         : context(std::move(tool)) {
         context.set_seed(seed);
+        // Spawn and park the pool's workers now, so the first timed
+        // region below measures the workload, not thread creation.
+        exec::warm_pool();
         context.set_threads(exec::thread_count());
     }
     ~RunScope() { context.append_to_default_ledger("wimi_runs.jsonl"); }

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <span>
 
 #include "common/error.hpp"
 #include "dsp/stats.hpp"
 #include "obs/obs.hpp"
+#include "simd/kernels.hpp"
 
 namespace wimi::core {
 namespace {
@@ -17,11 +20,8 @@ double normalized_variance(std::span<const double> values) {
     if (mu == 0.0) {
         return 0.0;
     }
-    std::vector<double> scaled;
-    scaled.reserve(values.size());
-    for (const double v : values) {
-        scaled.push_back(v / mu);
-    }
+    std::vector<double> scaled(values.size());
+    simd::divide(values, mu, scaled);  // true division — v/mu != v*(1/mu)
     return dsp::variance(scaled);
 }
 
@@ -69,24 +69,37 @@ std::vector<double> denoise_amplitude_series(
     return cleaned;
 }
 
+namespace {
+
+std::vector<double> ratio_of_denoised(std::span<const double> first_raw,
+                                      std::span<const double> second_raw,
+                                      const AmplitudeDenoiseConfig& config) {
+    const auto first = denoise_amplitude_series(first_raw, config);
+    const auto second = denoise_amplitude_series(second_raw, config);
+    for (const double d : second) {
+        ensure(d > 0.0, "denoised_amplitude_ratio: nonpositive denominator");
+    }
+    std::vector<double> ratio(first.size());
+    simd::divide(first, second, ratio);
+    return ratio;
+}
+
+}  // namespace
+
 std::vector<double> denoised_amplitude_ratio(
     const csi::CsiSeries& series, AntennaPair pair, std::size_t subcarrier,
     const AmplitudeDenoiseConfig& config) {
-    const auto first =
-        denoise_amplitude_series(series.amplitude_series(pair.first,
-                                                         subcarrier),
-                                 config);
-    const auto second =
-        denoise_amplitude_series(series.amplitude_series(pair.second,
-                                                         subcarrier),
-                                 config);
-    std::vector<double> ratio(first.size());
-    for (std::size_t i = 0; i < first.size(); ++i) {
-        ensure(second[i] > 0.0,
-               "denoised_amplitude_ratio: nonpositive denominator");
-        ratio[i] = first[i] / second[i];
-    }
-    return ratio;
+    return ratio_of_denoised(
+        series.amplitude_series(pair.first, subcarrier),
+        series.amplitude_series(pair.second, subcarrier), config);
+}
+
+std::vector<double> denoised_amplitude_ratio(
+    const csi::CsiSoa& soa, AntennaPair pair, std::size_t subcarrier,
+    const AmplitudeDenoiseConfig& config) {
+    return ratio_of_denoised(soa.amplitude_plane(pair.first, subcarrier),
+                             soa.amplitude_plane(pair.second, subcarrier),
+                             config);
 }
 
 double mean_amplitude_ratio(const csi::CsiSeries& series, AntennaPair pair,
@@ -96,6 +109,26 @@ double mean_amplitude_ratio(const csi::CsiSeries& series, AntennaPair pair,
         denoised_amplitude_ratio(series, pair, subcarrier, config);
     return dsp::mean(ratio);
 }
+
+double mean_amplitude_ratio(const csi::CsiSoa& soa, AntennaPair pair,
+                            std::size_t subcarrier,
+                            const AmplitudeDenoiseConfig& config) {
+    const auto ratio =
+        denoised_amplitude_ratio(soa, pair, subcarrier, config);
+    return dsp::mean(ratio);
+}
+
+namespace {
+
+void count_masked(const std::vector<bool>& mask) {
+    if (WIMI_OBS_ENABLED()) {
+        const auto masked = static_cast<std::uint64_t>(
+            std::count(mask.begin(), mask.end(), false));
+        WIMI_OBS_COUNT("denoise.outliers_clipped", masked);
+    }
+}
+
+}  // namespace
 
 std::vector<bool> inlier_packet_mask(const csi::CsiSeries& series,
                                      AntennaPair pair,
@@ -111,25 +144,39 @@ std::vector<bool> inlier_packet_mask(const csi::CsiSeries& series,
             mask[i] = false;
         }
     }
-    if (WIMI_OBS_ENABLED()) {
-        const auto masked = static_cast<std::uint64_t>(
-            std::count(mask.begin(), mask.end(), false));
-        WIMI_OBS_COUNT("denoise.outliers_clipped", masked);
-    }
+    count_masked(mask);
     return mask;
 }
 
-AmplitudeVarianceReport amplitude_variance_report(
-    const csi::CsiSeries& series, AntennaPair pair) {
-    ensure(!series.empty(), "amplitude_variance_report: empty series");
+std::vector<bool> inlier_packet_mask(const csi::CsiSoa& soa,
+                                     AntennaPair pair,
+                                     std::size_t subcarrier,
+                                     double k_sigma) {
+    std::vector<bool> mask(soa.packet_count(), true);
+    for (const std::size_t antenna : {pair.first, pair.second}) {
+        const auto amplitudes = soa.amplitude_plane(antenna, subcarrier);
+        for (const std::size_t i :
+             dsp::sigma_outlier_indices(amplitudes, k_sigma)) {
+            mask[i] = false;
+        }
+    }
+    count_masked(mask);
+    return mask;
+}
+
+namespace {
+
+AmplitudeVarianceReport variance_report_from_planes(
+    std::size_t n_sc,
+    const std::function<std::span<const double>(std::size_t, std::size_t)>&
+        amplitude) {
     AmplitudeVarianceReport report;
-    const std::size_t n_sc = series.subcarrier_count();
     report.antenna_first.reserve(n_sc);
     report.antenna_second.reserve(n_sc);
     report.ratio.reserve(n_sc);
     for (std::size_t k = 0; k < n_sc; ++k) {
-        const auto a1 = series.amplitude_series(pair.first, k);
-        const auto a2 = series.amplitude_series(pair.second, k);
+        const auto a1 = amplitude(0, k);
+        const auto a2 = amplitude(1, k);
         report.antenna_first.push_back(normalized_variance(a1));
         report.antenna_second.push_back(normalized_variance(a2));
         // Packets whose reference amplitude quantized to zero (deep fade
@@ -145,6 +192,33 @@ AmplitudeVarianceReport amplitude_variance_report(
                                              : normalized_variance(ratio));
     }
     return report;
+}
+
+}  // namespace
+
+AmplitudeVarianceReport amplitude_variance_report(
+    const csi::CsiSeries& series, AntennaPair pair) {
+    ensure(!series.empty(), "amplitude_variance_report: empty series");
+    std::vector<double> buf1;
+    std::vector<double> buf2;
+    return variance_report_from_planes(
+        series.subcarrier_count(),
+        [&](std::size_t which, std::size_t k) -> std::span<const double> {
+            auto& buf = (which == 0) ? buf1 : buf2;
+            buf = series.amplitude_series(
+                which == 0 ? pair.first : pair.second, k);
+            return buf;
+        });
+}
+
+AmplitudeVarianceReport amplitude_variance_report(const csi::CsiSoa& soa,
+                                                  AntennaPair pair) {
+    return variance_report_from_planes(
+        soa.subcarrier_count(),
+        [&](std::size_t which, std::size_t k) {
+            return soa.amplitude_plane(
+                which == 0 ? pair.first : pair.second, k);
+        });
 }
 
 }  // namespace wimi::core

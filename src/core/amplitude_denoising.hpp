@@ -16,6 +16,7 @@
 
 #include "core/phase_calibration.hpp"
 #include "csi/frame.hpp"
+#include "csi/soa.hpp"
 #include "dsp/wavelet_denoise.hpp"
 
 namespace wimi::core {
@@ -37,9 +38,20 @@ std::vector<double> denoised_amplitude_ratio(
     const csi::CsiSeries& series, AntennaPair pair, std::size_t subcarrier,
     const AmplitudeDenoiseConfig& config);
 
+/// SoA variant: reads the cached contiguous amplitude planes instead of
+/// materializing a fresh series per antenna per call.
+std::vector<double> denoised_amplitude_ratio(
+    const csi::CsiSoa& soa, AntennaPair pair, std::size_t subcarrier,
+    const AmplitudeDenoiseConfig& config);
+
 /// Mean cleaned amplitude ratio over the series (the scalar the material
 /// feature consumes).
 double mean_amplitude_ratio(const csi::CsiSeries& series, AntennaPair pair,
+                            std::size_t subcarrier,
+                            const AmplitudeDenoiseConfig& config);
+
+/// SoA variant of mean_amplitude_ratio.
+double mean_amplitude_ratio(const csi::CsiSoa& soa, AntennaPair pair,
                             std::size_t subcarrier,
                             const AmplitudeDenoiseConfig& config);
 
@@ -56,6 +68,12 @@ struct AmplitudeVarianceReport {
 AmplitudeVarianceReport amplitude_variance_report(
     const csi::CsiSeries& series, AntennaPair pair);
 
+/// SoA variant: amplitude planes are computed once and cached across
+/// pairs, so sweeping many candidate pairs (antenna selection) reuses
+/// them instead of re-materializing per pair.
+AmplitudeVarianceReport amplitude_variance_report(const csi::CsiSoa& soa,
+                                                  AntennaPair pair);
+
 /// Per-packet inlier mask: true when the packet's amplitude at this
 /// subcarrier is within k_sigma of the mean on *both* antennas of the
 /// pair. Packets flagged here carry impulse bursts or AGC glitches, and
@@ -63,6 +81,11 @@ AmplitudeVarianceReport amplitude_variance_report(
 /// amplitude sample means the complex CSI (and hence its phase) is
 /// untrustworthy for that packet.
 std::vector<bool> inlier_packet_mask(const csi::CsiSeries& series,
+                                     AntennaPair pair,
+                                     std::size_t subcarrier, double k_sigma);
+
+/// SoA variant of inlier_packet_mask.
+std::vector<bool> inlier_packet_mask(const csi::CsiSoa& soa,
                                      AntennaPair pair,
                                      std::size_t subcarrier, double k_sigma);
 

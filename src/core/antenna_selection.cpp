@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "core/amplitude_denoising.hpp"
 #include "core/subcarrier_selection.hpp"
+#include "csi/soa.hpp"
 #include "dsp/stats.hpp"
 #include "obs/obs.hpp"
 
@@ -15,6 +16,9 @@ std::vector<PairStability> rank_antenna_pairs(const csi::CsiSeries& series) {
     ensure(series.antenna_count() >= 2,
            "rank_antenna_pairs: need at least two antennas");
 
+    // One SoA for the whole sweep: amplitude planes are computed once and
+    // shared by every candidate pair's variance report.
+    const csi::CsiSoa soa(series);
     std::vector<PairStability> result;
     for (const AntennaPair pair :
          all_antenna_pairs(series.antenna_count())) {
@@ -22,7 +26,7 @@ std::vector<PairStability> rank_antenna_pairs(const csi::CsiSeries& series) {
         s.pair = pair;
         const auto phase_vars = subcarrier_variances(series, pair);
         s.mean_phase_variance = dsp::mean(phase_vars);
-        const auto amp_report = amplitude_variance_report(series, pair);
+        const auto amp_report = amplitude_variance_report(soa, pair);
         s.mean_amplitude_variance = dsp::mean(amp_report.ratio);
         // Quality probes: per-pair stability (Sec. III-F). A pair whose
         // variances drift between runs flags a degrading antenna chain.

@@ -8,6 +8,7 @@
 #include "dsp/circular.hpp"
 #include "dsp/stats.hpp"
 #include "obs/obs.hpp"
+#include "simd/kernels.hpp"
 
 namespace wimi::core {
 namespace {
@@ -28,66 +29,72 @@ namespace {
 /// outlier on either antenna are dropped (impulse bursts corrupt the whole
 /// complex sample), and the surviving ratio series is run through the
 /// wavelet-correlation denoiser component-wise.
-Complex mean_complex_ratio(const csi::CsiSeries& series, AntennaPair pair,
+Complex mean_complex_ratio(const csi::CsiSoa& soa, AntennaPair pair,
                            std::size_t subcarrier,
                            const AmplitudeDenoiseConfig& denoise,
                            bool use_denoising) {
-    ensure(!series.empty(), "mean_complex_ratio: empty series");
-    std::vector<Complex> ratios;
-    ratios.reserve(series.packet_count());
-
-    std::vector<bool> mask(series.packet_count(), true);
+    const std::size_t packets = soa.packet_count();
+    std::vector<bool> mask(packets, true);
     if (use_denoising) {
-        mask = inlier_packet_mask(series, pair, subcarrier,
+        mask = inlier_packet_mask(soa, pair, subcarrier,
                                   denoise.outlier_k_sigma);
     }
+    const auto re1p = soa.real_plane(pair.first, subcarrier);
+    const auto im1p = soa.imag_plane(pair.first, subcarrier);
+    const auto re2p = soa.real_plane(pair.second, subcarrier);
+    const auto im2p = soa.imag_plane(pair.second, subcarrier);
     // Packets whose reference-antenna CSI quantized to exactly zero (deep
     // fade at int8 resolution) carry no usable ratio and are skipped like
     // outliers.
     const auto usable = [&](std::size_t m) {
-        return std::abs(series.frames[m].at(pair.second, subcarrier)) > 0.0;
+        return re2p[m] != 0.0 || im2p[m] != 0.0;
     };
-    for (std::size_t m = 0; m < series.packet_count(); ++m) {
-        if (!mask[m] || !usable(m)) {
-            continue;
+    // Compact the surviving packets into contiguous component arrays so
+    // the ratio kernel runs over unit-stride spans.
+    std::vector<double> re1;
+    std::vector<double> im1;
+    std::vector<double> re2;
+    std::vector<double> im2;
+    re1.reserve(packets);
+    im1.reserve(packets);
+    re2.reserve(packets);
+    im2.reserve(packets);
+    const auto gather = [&](std::size_t m) {
+        re1.push_back(re1p[m]);
+        im1.push_back(im1p[m]);
+        re2.push_back(re2p[m]);
+        im2.push_back(im2p[m]);
+    };
+    for (std::size_t m = 0; m < packets; ++m) {
+        if (mask[m] && usable(m)) {
+            gather(m);
         }
-        const Complex h1 = series.frames[m].at(pair.first, subcarrier);
-        const Complex h2 = series.frames[m].at(pair.second, subcarrier);
-        ratios.push_back(h1 / h2);
     }
     // Degenerate capture where every packet was flagged: fall back to the
     // unmasked series rather than failing the measurement.
-    if (ratios.empty()) {
-        for (std::size_t m = 0; m < series.packet_count(); ++m) {
+    if (re1.empty()) {
+        for (std::size_t m = 0; m < packets; ++m) {
             if (usable(m)) {
-                ratios.push_back(
-                    series.frames[m].at(pair.first, subcarrier) /
-                    series.frames[m].at(pair.second, subcarrier));
+                gather(m);
             }
         }
     }
-    ensure(!ratios.empty(),
+    ensure(!re1.empty(),
            "mean_complex_ratio: no packet has nonzero reference amplitude");
 
-    if (use_denoising && denoise.remove_impulses && ratios.size() >= 8) {
-        std::vector<double> re(ratios.size());
-        std::vector<double> im(ratios.size());
-        for (std::size_t i = 0; i < ratios.size(); ++i) {
-            re[i] = ratios[i].real();
-            im[i] = ratios[i].imag();
-        }
-        re = dsp::wavelet_correlation_denoise(re, denoise.wavelet);
-        im = dsp::wavelet_correlation_denoise(im, denoise.wavelet);
-        for (std::size_t i = 0; i < ratios.size(); ++i) {
-            ratios[i] = Complex(re[i], im[i]);
-        }
+    std::vector<double> ratio_re(re1.size());
+    std::vector<double> ratio_im(re1.size());
+    simd::complex_ratio(re1, im1, re2, im2, ratio_re, ratio_im);
+
+    if (use_denoising && denoise.remove_impulses && ratio_re.size() >= 8) {
+        ratio_re = dsp::wavelet_correlation_denoise(ratio_re,
+                                                    denoise.wavelet);
+        ratio_im = dsp::wavelet_correlation_denoise(ratio_im,
+                                                    denoise.wavelet);
     }
 
-    Complex sum(0.0, 0.0);
-    for (const Complex r : ratios) {
-        sum += r;
-    }
-    return sum / static_cast<double>(ratios.size());
+    const double count = static_cast<double>(ratio_re.size());
+    return {simd::sum(ratio_re) / count, simd::sum(ratio_im) / count};
 }
 
 }  // namespace
@@ -136,8 +143,8 @@ namespace {
 
 /// Eq. 18/19: the wrapped phase-difference change and amplitude-ratio
 /// change for one pair and subcarrier (gamma and Omega not yet filled in).
-MaterialMeasurement raw_measurement(const csi::CsiSeries& baseline,
-                                    const csi::CsiSeries& target,
+MaterialMeasurement raw_measurement(const csi::CsiSoa& baseline,
+                                    const csi::CsiSoa& target,
                                     AntennaPair pair,
                                     std::size_t subcarrier,
                                     const FeatureConfig& config) {
@@ -182,9 +189,8 @@ void finish_measurement(MaterialMeasurement& m, int gamma,
               (denom * denom + ridge * ridge);
 }
 
-void check_series(const csi::CsiSeries& baseline,
-                  const csi::CsiSeries& target) {
-    ensure(!baseline.empty() && !target.empty(),
+void check_series(const csi::CsiSoa& baseline, const csi::CsiSoa& target) {
+    ensure(baseline.packet_count() > 0 && target.packet_count() > 0,
            "measure_material: baseline and target must be non-empty");
     ensure(baseline.antenna_count() == target.antenna_count() &&
                baseline.subcarrier_count() == target.subcarrier_count(),
@@ -198,9 +204,13 @@ MaterialMeasurement measure_material(const csi::CsiSeries& baseline,
                                      AntennaPair pair,
                                      std::size_t subcarrier,
                                      const FeatureConfig& config) {
-    check_series(baseline, target);
+    ensure(!baseline.empty() && !target.empty(),
+           "measure_material: baseline and target must be non-empty");
+    const csi::CsiSoa baseline_soa(baseline);
+    const csi::CsiSoa target_soa(target);
+    check_series(baseline_soa, target_soa);
     MaterialMeasurement m =
-        raw_measurement(baseline, target, pair, subcarrier, config);
+        raw_measurement(baseline_soa, target_soa, pair, subcarrier, config);
     finish_measurement(
         m, estimate_gamma(m.delta_theta_rad, m.delta_psi, config.gamma),
         config);
@@ -208,7 +218,7 @@ MaterialMeasurement measure_material(const csi::CsiSeries& baseline,
 }
 
 std::vector<MaterialMeasurement> measure_material_pairs(
-    const csi::CsiSeries& baseline, const csi::CsiSeries& target,
+    const csi::CsiSoa& baseline, const csi::CsiSoa& target,
     const std::vector<AntennaPair>& pairs, std::size_t subcarrier,
     const FeatureConfig& config) {
     ensure(!pairs.empty(), "measure_material_pairs: need >= 1 pair");
@@ -254,8 +264,19 @@ std::vector<MaterialMeasurement> measure_material_pairs(
     return out;
 }
 
-std::vector<double> extract_feature_vector(
+std::vector<MaterialMeasurement> measure_material_pairs(
     const csi::CsiSeries& baseline, const csi::CsiSeries& target,
+    const std::vector<AntennaPair>& pairs, std::size_t subcarrier,
+    const FeatureConfig& config) {
+    ensure(!baseline.empty() && !target.empty(),
+           "measure_material: baseline and target must be non-empty");
+    return measure_material_pairs(csi::CsiSoa(baseline),
+                                  csi::CsiSoa(target), pairs, subcarrier,
+                                  config);
+}
+
+std::vector<double> extract_feature_vector(
+    const csi::CsiSoa& baseline, const csi::CsiSoa& target,
     const std::vector<AntennaPair>& pairs,
     const std::vector<std::size_t>& subcarriers,
     const FeatureConfig& config) {
@@ -273,6 +294,20 @@ std::vector<double> extract_feature_vector(
         }
     }
     return features;
+}
+
+std::vector<double> extract_feature_vector(
+    const csi::CsiSeries& baseline, const csi::CsiSeries& target,
+    const std::vector<AntennaPair>& pairs,
+    const std::vector<std::size_t>& subcarriers,
+    const FeatureConfig& config) {
+    ensure(!baseline.empty() && !target.empty(),
+           "measure_material: baseline and target must be non-empty");
+    // Build the SoA once: amplitude planes are then computed and cached a
+    // single time across all (subcarrier, pair) combinations.
+    return extract_feature_vector(csi::CsiSoa(baseline),
+                                  csi::CsiSoa(target), pairs, subcarriers,
+                                  config);
 }
 
 }  // namespace wimi::core

@@ -32,6 +32,7 @@
 #include "core/amplitude_denoising.hpp"
 #include "core/phase_calibration.hpp"
 #include "csi/frame.hpp"
+#include "csi/soa.hpp"
 
 namespace wimi::core {
 
@@ -97,12 +98,26 @@ std::vector<MaterialMeasurement> measure_material_pairs(
     const std::vector<AntennaPair>& pairs, std::size_t subcarrier,
     const FeatureConfig& config);
 
+/// SoA variant: the series-based overloads build a CsiSoa per call;
+/// callers measuring several subcarriers/pairs should build the SoA once
+/// and use this one so amplitude planes are computed and cached once.
+std::vector<MaterialMeasurement> measure_material_pairs(
+    const csi::CsiSoa& baseline, const csi::CsiSoa& target,
+    const std::vector<AntennaPair>& pairs, std::size_t subcarrier,
+    const FeatureConfig& config);
+
 /// Feature vector for the classifier: Omega for every (subcarrier, pair)
 /// combination, subcarrier-major, with cross-pair wrap recovery applied
 /// per subcarrier (pairs[0] is the wrap-free reference pair). This is the
 /// row format stored in the material database.
 std::vector<double> extract_feature_vector(
     const csi::CsiSeries& baseline, const csi::CsiSeries& target,
+    const std::vector<AntennaPair>& pairs,
+    const std::vector<std::size_t>& subcarriers, const FeatureConfig& config);
+
+/// SoA variant of extract_feature_vector (see measure_material_pairs).
+std::vector<double> extract_feature_vector(
+    const csi::CsiSoa& baseline, const csi::CsiSoa& target,
     const std::vector<AntennaPair>& pairs,
     const std::vector<std::size_t>& subcarriers, const FeatureConfig& config);
 

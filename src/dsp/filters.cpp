@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/math.hpp"
+#include "simd/kernels.hpp"
 
 namespace wimi::dsp {
 namespace {
@@ -27,17 +28,17 @@ void check_finite(std::span<const double> input, const char* what) {
 
 std::vector<double> run_sections(const std::vector<Biquad>& sections,
                                  std::span<const double> input) {
-    std::vector<double> data(input.begin(), input.end());
+    // The simd kernel fuses the cascade per sample (one memory pass
+    // instead of one per section) when the vector paths are enabled;
+    // either way the arithmetic per (sample, section) is the legacy
+    // transposed-direct-form-II update, bit-exact across paths.
+    std::vector<simd::Biquad> state;
+    state.reserve(sections.size());
     for (const auto& s : sections) {
-        double z1 = 0.0;
-        double z2 = 0.0;
-        for (double& x : data) {
-            const double y = s.b0 * x + z1;
-            z1 = s.b1 * x - s.a1 * y + z2;
-            z2 = s.b2 * x - s.a2 * y;
-            x = y;
-        }
+        state.push_back({s.b0, s.b1, s.b2, s.a1, s.a2, 0.0, 0.0});
     }
+    std::vector<double> data(input.begin(), input.end());
+    simd::biquad_cascade(data, data, state);
     return data;
 }
 
@@ -50,6 +51,13 @@ std::vector<double> median_filter(std::span<const double> input,
     const std::size_t half = window / 2;
     const std::size_t n = input.size();
     std::vector<double> out(n);
+    // Windows up to 7 (the pipeline's sizes) go through the simd kernel:
+    // lane-parallel min/max selection networks over the interior, the
+    // legacy sort at the shrinking edges. Selection picks a window value,
+    // so the result matches sort-and-take-middle exactly.
+    if (simd::sliding_median(input, static_cast<int>(half), out)) {
+        return out;
+    }
     std::vector<double> buffer;
     buffer.reserve(window);
     for (std::size_t i = 0; i < n; ++i) {

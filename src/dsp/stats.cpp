@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "simd/kernels.hpp"
 
 namespace wimi::dsp {
 namespace {
@@ -14,32 +15,22 @@ namespace {
 /// behavior, not just a wrong answer. Every sorting-based entry point
 /// rejects non-finite input up front instead.
 void ensure_all_finite(std::span<const double> values, const char* what) {
-    for (const double v : values) {
-        ensure(std::isfinite(v),
-               std::string(what) + ": input contains a non-finite value");
-    }
+    ensure(simd::all_finite(values),
+           std::string(what) + ": input contains a non-finite value");
 }
 
 }  // namespace
 
 double mean(std::span<const double> values) {
     ensure(!values.empty(), "mean: input must not be empty");
-    double sum = 0.0;
-    for (const double v : values) {
-        sum += v;
-    }
-    return sum / static_cast<double>(values.size());
+    return simd::sum(values) / static_cast<double>(values.size());
 }
 
 double variance(std::span<const double> values) {
     ensure(!values.empty(), "variance: input must not be empty");
     const double mu = mean(values);
-    double sum_sq = 0.0;
-    for (const double v : values) {
-        const double d = v - mu;
-        sum_sq += d * d;
-    }
-    return sum_sq / static_cast<double>(values.size());
+    return simd::centered_sum_squares(values, mu) /
+           static_cast<double>(values.size());
 }
 
 double stddev(std::span<const double> values) {
@@ -49,12 +40,8 @@ double stddev(std::span<const double> values) {
 double sample_variance(std::span<const double> values) {
     ensure(values.size() >= 2, "sample_variance: need at least 2 values");
     const double mu = mean(values);
-    double sum_sq = 0.0;
-    for (const double v : values) {
-        const double d = v - mu;
-        sum_sq += d * d;
-    }
-    return sum_sq / static_cast<double>(values.size() - 1);
+    return simd::centered_sum_squares(values, mu) /
+           static_cast<double>(values.size() - 1);
 }
 
 double median(std::span<const double> values) {
@@ -74,11 +61,8 @@ double median(std::span<const double> values) {
 
 double median_absolute_deviation(std::span<const double> values) {
     const double med = median(values);
-    std::vector<double> deviations;
-    deviations.reserve(values.size());
-    for (const double v : values) {
-        deviations.push_back(std::abs(v - med));
-    }
+    std::vector<double> deviations(values.size());
+    simd::absolute_deviation(values, med, deviations);
     return median(deviations);
 }
 
@@ -108,16 +92,9 @@ double pearson_correlation(std::span<const double> a,
            "pearson_correlation: inputs must be equal-length and non-empty");
     const double mean_a = mean(a);
     const double mean_b = mean(b);
-    double cov = 0.0;
-    double var_a = 0.0;
-    double var_b = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        const double da = a[i] - mean_a;
-        const double db = b[i] - mean_b;
-        cov += da * db;
-        var_a += da * da;
-        var_b += db * db;
-    }
+    const double cov = simd::centered_dot(a, mean_a, b, mean_b);
+    const double var_a = simd::centered_sum_squares(a, mean_a);
+    const double var_b = simd::centered_sum_squares(b, mean_b);
     if (var_a == 0.0 || var_b == 0.0) {
         return 0.0;
     }
@@ -127,12 +104,8 @@ double pearson_correlation(std::span<const double> a,
 double rmse(std::span<const double> a, std::span<const double> b) {
     ensure(a.size() == b.size() && !a.empty(),
            "rmse: inputs must be equal-length and non-empty");
-    double sum_sq = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        const double d = a[i] - b[i];
-        sum_sq += d * d;
-    }
-    return std::sqrt(sum_sq / static_cast<double>(a.size()));
+    return std::sqrt(simd::squared_distance(a, b) /
+                     static_cast<double>(a.size()));
 }
 
 std::vector<std::size_t> sigma_outlier_indices(std::span<const double> values,

@@ -1,9 +1,11 @@
 #include "dsp/wavelet.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "simd/kernels.hpp"
 
 namespace wimi::dsp {
 namespace {
@@ -39,10 +41,28 @@ void dwt_step(std::span<const double> x, std::span<const double> h,
     const std::size_t half = n / 2;
     approx.assign(half, 0.0);
     detail.assign(half, 0.0);
-    for (std::size_t i = 0; i < half; ++i) {
+    // The window 2*i + k only wraps for the last few output positions
+    // (2*i + taps - 1 >= n); everything before that reads x directly,
+    // sparing the modulo on the hot interior.
+    const std::size_t taps = h.size();
+    const std::size_t direct =
+        std::min(half, (n >= taps) ? (n - taps) / 2 + 1 : 0);
+    for (std::size_t i = 0; i < direct; ++i) {
         double a = 0.0;
         double d = 0.0;
-        for (std::size_t k = 0; k < h.size(); ++k) {
+        const double* w = x.data() + 2 * i;
+        for (std::size_t k = 0; k < taps; ++k) {
+            const double sample = w[k];
+            a += h[k] * sample;
+            d += g[k] * sample;
+        }
+        approx[i] = a;
+        detail[i] = d;
+    }
+    for (std::size_t i = direct; i < half; ++i) {
+        double a = 0.0;
+        double d = 0.0;
+        for (std::size_t k = 0; k < taps; ++k) {
             const double sample = x[(2 * i + k) % n];
             a += h[k] * sample;
             d += g[k] * sample;
@@ -146,33 +166,18 @@ AtrousDecomposition atrous_decompose(std::span<const double> input,
     ensure(!input.empty(), "atrous_decompose: input must not be empty");
     ensure(levels >= 1, "atrous_decompose: levels must be >= 1");
 
-    // Cubic B3-spline kernel; offsets are scaled by 2^l at level l.
-    constexpr std::array<double, 5> kKernel = {1.0 / 16.0, 4.0 / 16.0,
-                                               6.0 / 16.0, 4.0 / 16.0,
-                                               1.0 / 16.0};
-    const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(input.size());
-
+    // Cubic B3-spline smoothing per level (offsets scaled by 2^l) and the
+    // detail-plane subtraction both run through the simd kernels; the
+    // atrous_smooth kernel owns the tap weights and the periodic
+    // boundary, and is bit-exact between its scalar and vector paths.
     AtrousDecomposition out;
     std::vector<double> current(input.begin(), input.end());
     for (std::size_t level = 0; level < levels; ++level) {
-        const std::ptrdiff_t step = static_cast<std::ptrdiff_t>(1)
-                                    << level;
-        std::vector<double> smoothed(input.size(), 0.0);
-        for (std::ptrdiff_t i = 0; i < n; ++i) {
-            double acc = 0.0;
-            for (std::size_t k = 0; k < kKernel.size(); ++k) {
-                std::ptrdiff_t idx =
-                    i + (static_cast<std::ptrdiff_t>(k) - 2) * step;
-                // Periodic boundary.
-                idx = ((idx % n) + n) % n;
-                acc += kKernel[k] * current[static_cast<std::size_t>(idx)];
-            }
-            smoothed[static_cast<std::size_t>(i)] = acc;
-        }
+        const std::size_t step = static_cast<std::size_t>(1) << level;
+        std::vector<double> smoothed(input.size());
+        simd::atrous_smooth(current, step, smoothed);
         std::vector<double> detail(input.size());
-        for (std::size_t i = 0; i < input.size(); ++i) {
-            detail[i] = current[i] - smoothed[i];
-        }
+        simd::subtract(current, smoothed, detail);
         out.details.push_back(std::move(detail));
         current = std::move(smoothed);
     }
@@ -186,9 +191,7 @@ std::vector<double> atrous_reconstruct(const AtrousDecomposition& d) {
     for (const auto& detail : d.details) {
         ensure(detail.size() == out.size(),
                "atrous_reconstruct: inconsistent plane sizes");
-        for (std::size_t i = 0; i < out.size(); ++i) {
-            out[i] += detail[i];
-        }
+        simd::add_in_place(out, detail);
     }
     return out;
 }

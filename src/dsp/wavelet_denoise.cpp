@@ -7,27 +7,20 @@
 #include "common/error.hpp"
 #include "dsp/stats.hpp"
 #include "dsp/wavelet.hpp"
+#include "simd/kernels.hpp"
 
 namespace wimi::dsp {
 namespace {
 
-double power(std::span<const double> v) {
-    double sum = 0.0;
-    for (const double x : v) {
-        sum += x * x;
-    }
-    return sum;
-}
+double power(std::span<const double> v) { return simd::sum_squares(v); }
 
 /// Both denoisers estimate the noise floor with robust_sigma, which
 /// rejects non-finite input deep inside the median computation. Checking
 /// at the entry point turns that into an error naming the caller instead
 /// of an opaque "median: ..." failure from inside the decomposition.
 void ensure_all_finite(std::span<const double> values, const char* what) {
-    for (const double v : values) {
-        ensure(std::isfinite(v),
-               std::string(what) + ": input contains a non-finite value");
-    }
+    ensure(simd::all_finite(values),
+           std::string(what) + ": input contains a non-finite value");
 }
 
 }  // namespace
@@ -52,16 +45,14 @@ std::vector<double> wavelet_correlation_denoise(
         report->noise_threshold_per_scale.assign(levels, 0.0);
     }
 
-    // Impulse (transient) coefficients extracted per scale. An impulse
-    // concentrates aligned, large coefficients at the same position on
-    // adjacent scales, so its normalized cross-scale correlation (Eq. 12)
-    // dominates its magnitude; stationary CSI amplitude structure and
-    // uncorrelated measurement noise do not. Extracted coefficients are
-    // DISCARDED (the paper's stage-2 goal is impulse removal), and the
-    // clean series is rebuilt from what remains.
-    std::vector<std::vector<double>> extracted(
-        levels, std::vector<double>(n, 0.0));
-
+    // An impulse concentrates aligned, large coefficients at the same
+    // position on adjacent scales, so its normalized cross-scale
+    // correlation (Eq. 12) dominates its magnitude; stationary CSI
+    // amplitude structure and uncorrelated measurement noise do not.
+    // Impulse coefficients are zeroed in place (the paper's stage-2 goal
+    // is impulse removal), and the clean series is rebuilt from what
+    // remains.
+    std::vector<double> corr(n);
     for (std::size_t l = 0; l < levels; ++l) {
         auto& w_l = decomposition.details[l];
         // The scale adjacent to the coarsest detail plane is the smooth
@@ -85,32 +76,20 @@ std::vector<double> wavelet_correlation_denoise(
                iterations < config.max_iterations) {
             ++iterations;
             // Eq. 11: element-wise product of adjacent scales.
-            std::vector<double> corr(n);
-            for (std::size_t m = 0; m < n; ++m) {
-                corr[m] = w_l[m] * w_next[m];
-            }
+            simd::multiply(w_l, w_next, corr);
             const double p_w = power(w_l);
             const double p_corr = power(corr);
             if (p_corr <= 0.0) {
                 break;
             }
             // Eq. 12: rescale the correlation plane to the power of the
-            // coefficient plane so magnitudes are comparable.
+            // coefficient plane so magnitudes are comparable. Eq. 13: a
+            // dominant normalized correlation marks a sharp cross-scale-
+            // aligned transient — an impulse sample. Zero it out of the
+            // working plane so the next pass re-examines the rest with
+            // the impulse energy gone.
             const double scale = std::sqrt(p_w / p_corr);
-            bool moved_any = false;
-            for (std::size_t m = 0; m < n; ++m) {
-                const double ncorr = corr[m] * scale;
-                // Eq. 13: a dominant normalized correlation marks a sharp
-                // cross-scale-aligned transient — an impulse sample. Move
-                // it out of the working plane so the next pass re-examines
-                // the rest with the impulse energy gone.
-                if (w_l[m] != 0.0 && std::abs(ncorr) >= std::abs(w_l[m])) {
-                    extracted[l][m] += w_l[m];
-                    w_l[m] = 0.0;
-                    moved_any = true;
-                }
-            }
-            if (!moved_any) {
+            if (simd::zero_dominated(corr, scale, w_l) == 0) {
                 break;
             }
         }
@@ -121,8 +100,7 @@ std::vector<double> wavelet_correlation_denoise(
     }
 
     // Reconstruct from the residual planes (impulse coefficients removed)
-    // plus the smooth approximation; `extracted` holds the discarded
-    // impulse energy.
+    // plus the smooth approximation.
     return atrous_reconstruct(decomposition);
 }
 

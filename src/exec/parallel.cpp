@@ -56,6 +56,17 @@ void set_thread_count(std::size_t threads) {
     g_pool = std::move(pool);
 }
 
+void warm_pool() {
+    const auto pool = acquire_pool();
+    const std::size_t width = pool->thread_count();
+    if (width <= 1) {
+        return;  // pool of 1 has no workers to warm
+    }
+    // Two trivial tasks per thread: enough that every worker wakes at
+    // least once even under uneven claiming, few enough to be instant.
+    pool->parallel_for(2 * width, [](std::size_t) {});
+}
+
 namespace {
 
 /// The metrics-instrumented dispatch shared by both context paths.

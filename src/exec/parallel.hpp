@@ -63,6 +63,13 @@ std::size_t thread_count();
 /// alive until they return.
 void set_thread_count(std::size_t threads);
 
+/// Builds the process-wide pool if needed and runs one no-op fan-out
+/// across its full width, so worker threads are spawned, have touched
+/// their stacks, and are parked in the queue wait before any timed
+/// region starts. Benchmarks call this after set_thread_count() to keep
+/// thread-creation cost out of the first measured sample.
+void warm_pool();
+
 /// Runs body(0) .. body(n-1) on the process-wide pool (see the
 /// determinism contract above). Rethrows the first task exception after
 /// the region settles.

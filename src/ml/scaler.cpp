@@ -1,6 +1,7 @@
 #include "ml/scaler.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <utility>
 
@@ -69,6 +70,13 @@ void StandardScaler::transform(std::span<const double> features,
            "StandardScaler::transform: feature width mismatch");
     ensure(out.size() == features.size(),
            "StandardScaler::transform: output span size mismatch");
+    transform_unchecked(features, out);
+}
+
+void StandardScaler::transform_unchecked(std::span<const double> features,
+                                         std::span<double> out) const {
+    assert(fitted() && features.size() == means_.size() &&
+           out.size() == features.size());
     for (std::size_t j = 0; j < features.size(); ++j) {
         out[j] = (features[j] - means_[j]) / stddevs_[j];
     }
@@ -93,10 +101,15 @@ StandardScaler StandardScaler::restore(std::vector<double> means,
 }
 
 Dataset StandardScaler::transform(const Dataset& data) const {
+    // Validate once for the whole batch; every row of a Dataset has the
+    // same width, so the per-row loop runs the unchecked form.
+    ensure(fitted(), "StandardScaler::transform: fit() not called");
+    ensure(data.feature_count() == means_.size(),
+           "StandardScaler::transform: feature width mismatch");
     Dataset out(data.feature_count());
     std::vector<double> scaled(data.feature_count());
     for (std::size_t row = 0; row < data.size(); ++row) {
-        transform(data.features(row), scaled);
+        transform_unchecked(data.features(row), scaled);
         out.add(scaled, data.label(row));
     }
     return out;

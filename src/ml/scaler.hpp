@@ -33,6 +33,13 @@ public:
     void transform(std::span<const double> features,
                    std::span<double> out) const;
 
+    /// transform(features, out) without the per-call validation, for
+    /// batch loops that checked fitted() and the widths once at entry
+    /// (Dataset transform, the inference engine's row loop). Debug builds
+    /// still assert the preconditions; release builds skip them.
+    void transform_unchecked(std::span<const double> features,
+                             std::span<double> out) const;
+
     /// Applies transform() to every row of `data`.
     Dataset transform(const Dataset& data) const;
 

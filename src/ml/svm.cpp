@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "exec/parallel.hpp"
 #include "obs/obs.hpp"
+#include "simd/kernels.hpp"
 
 namespace wimi::ml {
 namespace {
@@ -15,21 +16,10 @@ namespace {
 double kernel_eval(Kernel kind, double gamma, std::span<const double> a,
                    std::span<const double> b) {
     switch (kind) {
-        case Kernel::kLinear: {
-            double dot = 0.0;
-            for (std::size_t i = 0; i < a.size(); ++i) {
-                dot += a[i] * b[i];
-            }
-            return dot;
-        }
-        case Kernel::kRbf: {
-            double dist_sq = 0.0;
-            for (std::size_t i = 0; i < a.size(); ++i) {
-                const double d = a[i] - b[i];
-                dist_sq += d * d;
-            }
-            return std::exp(-gamma * dist_sq);
-        }
+        case Kernel::kLinear:
+            return simd::dot(a, b);
+        case Kernel::kRbf:
+            return std::exp(-gamma * simd::squared_distance(a, b));
     }
     fail("kernel_eval: unknown kernel");
 }
@@ -181,18 +171,46 @@ void BinarySvm::train(std::span<const double> features, std::size_t width,
         }
     }
     bias_ = b;
+    build_columns();
     WIMI_OBS_HISTOGRAM("svm.train.support_vectors",
                        static_cast<double>(alphas_.size()));
+}
+
+void BinarySvm::build_columns() {
+    const std::size_t n_sv = alphas_.size();
+    sv_columns_.resize(n_sv * width_);
+    for (std::size_t s = 0; s < n_sv; ++s) {
+        for (std::size_t j = 0; j < width_; ++j) {
+            sv_columns_[j * n_sv + s] = support_vectors_[s * width_ + j];
+        }
+    }
 }
 
 double BinarySvm::decision(std::span<const double> x) const {
     ensure(trained(), "BinarySvm::decision: not trained");
     ensure(x.size() == width_, "BinarySvm::decision: width mismatch");
+    // Kernel rows over the transposed SV matrix, lane-parallel across
+    // support vectors; per SV the accumulation stays in feature order, so
+    // the distances — and hence the decision value (exp and the SV-order
+    // reduction below are unchanged) — are bit-identical to the legacy
+    // row-by-row loop in every configuration.
+    const std::size_t n_sv = alphas_.size();
+    thread_local std::vector<double> rows;
+    rows.resize(n_sv);
     double sum = bias_;
-    for (std::size_t s = 0; s < alphas_.size(); ++s) {
-        const std::span<const double> sv(
-            support_vectors_.data() + s * width_, width_);
-        sum += alphas_[s] * kernel(sv, x);
+    switch (config_.kernel) {
+        case Kernel::kLinear:
+            simd::dot_columns(sv_columns_, n_sv, x, rows);
+            for (std::size_t s = 0; s < n_sv; ++s) {
+                sum += alphas_[s] * rows[s];
+            }
+            break;
+        case Kernel::kRbf:
+            simd::squared_distance_columns(sv_columns_, n_sv, x, rows);
+            for (std::size_t s = 0; s < n_sv; ++s) {
+                sum += alphas_[s] * std::exp(-config_.gamma * rows[s]);
+            }
+            break;
     }
     return sum;
 }
@@ -222,6 +240,7 @@ BinarySvm BinarySvm::restore(const SvmConfig& config, std::size_t width,
     svm.support_vectors_ = std::move(support_vectors);
     svm.alphas_ = std::move(alphas);
     svm.bias_ = bias;
+    svm.build_columns();
     return svm;
 }
 

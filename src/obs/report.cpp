@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "obs/json.hpp"
 #include "obs/trace.hpp"
+#include "simd/simd.hpp"
 
 namespace wimi::obs {
 namespace {
@@ -83,6 +84,12 @@ std::string metrics_body_json(const MetricsRegistry::Snapshot& snap) {
 
 std::string metrics_to_json(const MetricsRegistry& reg) {
     std::string out = "{\"schema\":\"wimi.metrics.v1\",";
+    // The active kernel ISA, so a metrics report is attributable to the
+    // code path that produced it (covered by the build.* baseline-ignore
+    // rule, like the manifest's build object).
+    out += "\"build\":{\"simd\":\"";
+    out += json::escape(simd::effective_isa());
+    out += "\"},";
     out += metrics_body_json(reg.snapshot());
     out += '}';
     return out;

@@ -11,6 +11,7 @@
 #include "common/error.hpp"
 #include "obs/json.hpp"
 #include "obs/report.hpp"
+#include "simd/simd.hpp"
 
 namespace wimi::obs {
 namespace {
@@ -38,6 +39,7 @@ BuildInfo build_info() {
     info.sanitize = WIMI_BUILD_SANITIZE;
 #endif
     info.compiler = compiler_string();
+    info.simd = simd::effective_isa();
 #if defined(WIMI_OBS_DISABLED)
     info.obs_compiled_in = false;
 #else
@@ -106,6 +108,7 @@ std::string RunContext::manifest_json(const MetricsRegistry& reg) const {
     out += ",\"build\":{\"type\":\"" + json::escape(build.build_type);
     out += "\",\"sanitize\":\"" + json::escape(build.sanitize);
     out += "\",\"compiler\":\"" + json::escape(build.compiler);
+    out += "\",\"simd\":\"" + json::escape(build.simd);
     out += "\",\"obs_compiled_in\":";
     out += build.obs_compiled_in ? "true" : "false";
     out += "},\"wall_s\":" + json::number(wall.count());

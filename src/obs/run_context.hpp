@@ -34,6 +34,9 @@ struct BuildInfo {
     std::string build_type;  ///< CMAKE_BUILD_TYPE at configure time
     std::string sanitize;    ///< WIMI_SANITIZE value ("" when unsanitized)
     std::string compiler;    ///< compiler id + version string
+    /// Active SIMD ISA of the DSP/feature kernels at manifest time
+    /// ("avx2", "sse2", ... or "scalar" when compiled out or disabled).
+    std::string simd;
     bool obs_compiled_in = true;
 };
 

@@ -110,7 +110,10 @@ Prediction InferenceEngine::predict_features(
     std::span<const double> features) const {
     ensure(features.size() == model_.feature_width(),
            "InferenceEngine: feature width does not match the model");
-    const std::vector<double> scaled = model_.scaler.transform(features);
+    // The entry check above covers the scaler too: a loaded model's
+    // scaler width equals feature_width() (validated at restore time).
+    std::vector<double> scaled(features.size());
+    model_.scaler.transform_unchecked(features, scaled);
     Prediction prediction;
     prediction.material_id = model_.svm.predict(scaled);
     prediction.material_name = class_name(prediction.material_id);

@@ -28,13 +28,17 @@ std::vector<int> train_and_predict(const ml::Dataset& train,
 
     std::vector<int> predictions;
     predictions.reserve(test.size());
+    // One width check for the whole fold; every row of `test` shares
+    // feature_count(), so the loops use the unchecked transform.
+    ensure(test.feature_count() == scaler.means().size(),
+           "train_and_predict: test feature width does not match the scaler");
     std::vector<double> scaled(test.feature_count());
     switch (config.classifier) {
         case core::ClassifierKind::kSvm: {
             ml::MulticlassSvm svm(config.svm);
             svm.train(scaled_train);
             for (std::size_t i = 0; i < test.size(); ++i) {
-                scaler.transform(test.features(i), scaled);
+                scaler.transform_unchecked(test.features(i), scaled);
                 predictions.push_back(svm.predict(scaled));
             }
             break;
@@ -43,7 +47,7 @@ std::vector<int> train_and_predict(const ml::Dataset& train,
             ml::KnnClassifier knn(config.knn_k);
             knn.train(scaled_train);
             for (std::size_t i = 0; i < test.size(); ++i) {
-                scaler.transform(test.features(i), scaled);
+                scaler.transform_unchecked(test.features(i), scaled);
                 predictions.push_back(knn.predict(scaled));
             }
             break;
