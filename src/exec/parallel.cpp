@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -14,14 +15,26 @@ namespace wimi::exec {
 namespace {
 
 std::mutex g_pool_mutex;
-std::shared_ptr<ThreadPool> g_pool;  // lazily built; guarded by g_pool_mutex
+
+// The slot is a function-local static, constructed on first use and
+// only after obs::registry() below: static teardown runs in reverse
+// order of construction, so the pool — whose workers write the
+// exec.queue_depth gauge — is destroyed (joining every worker) before
+// the registry those writes land in. A namespace-scope g_pool would
+// finish constructing at load time and outlive the registry.
+std::shared_ptr<ThreadPool>& pool_slot() {
+    static std::shared_ptr<ThreadPool> pool;
+    return pool;
+}
 
 std::shared_ptr<ThreadPool> acquire_pool() {
     const std::lock_guard<std::mutex> lock(g_pool_mutex);
-    if (!g_pool) {
-        g_pool = std::make_shared<ThreadPool>(default_thread_count());
+    obs::registry();
+    auto& slot = pool_slot();
+    if (!slot) {
+        slot = std::make_shared<ThreadPool>(default_thread_count());
     }
-    return g_pool;
+    return slot;
 }
 
 }  // namespace
@@ -31,17 +44,61 @@ std::size_t hardware_threads() noexcept {
     return n == 0 ? 1 : n;
 }
 
-std::size_t default_thread_count() {
-    static const std::size_t count = [] {
-        if (const char* env = std::getenv("WIMI_THREADS")) {
-            char* end = nullptr;
-            const unsigned long parsed = std::strtoul(env, &end, 10);
-            if (end != env && *end == '\0' && parsed >= 1) {
-                return static_cast<std::size_t>(parsed);
-            }
+std::optional<std::size_t> parse_thread_env(
+    std::string_view value) noexcept {
+    if (value.empty()) {
+        return std::nullopt;
+    }
+    std::size_t parsed = 0;
+    bool saturated = false;
+    for (const char c : value) {
+        if (c < '0' || c > '9') {
+            // Rejects signs too: strtoul would silently wrap "-1" to
+            // ULONG_MAX and pass a >= 1 check.
+            return std::nullopt;
         }
+        const std::size_t digit = static_cast<std::size_t>(c - '0');
+        constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+        if (saturated || parsed > (kMax - digit) / 10) {
+            saturated = true;
+            parsed = kMax;
+            continue;
+        }
+        parsed = parsed * 10 + digit;
+    }
+    if (parsed == 0) {
+        return std::nullopt;
+    }
+    return parsed;
+}
+
+std::size_t max_thread_env() noexcept { return 4 * hardware_threads(); }
+
+std::size_t resolve_thread_count(const char* env_value) {
+    if (env_value == nullptr) {
         return hardware_threads();
-    }();
+    }
+    const std::optional<std::size_t> parsed = parse_thread_env(env_value);
+    if (!parsed.has_value()) {
+        WIMI_OBS_LOG_WARN(
+            "exec.parallel", "ignoring invalid WIMI_THREADS",
+            obs::kv("value", env_value),
+            obs::kv("fallback", hardware_threads()));
+        return hardware_threads();
+    }
+    const std::size_t cap = max_thread_env();
+    if (*parsed > cap) {
+        WIMI_OBS_LOG_WARN(
+            "exec.parallel", "clamping WIMI_THREADS to 4x hardware",
+            obs::kv("value", env_value), obs::kv("cap", cap));
+        return cap;
+    }
+    return *parsed;
+}
+
+std::size_t default_thread_count() {
+    static const std::size_t count =
+        resolve_thread_count(std::getenv("WIMI_THREADS"));
     return count;
 }
 
@@ -53,7 +110,8 @@ void set_thread_count(std::size_t threads) {
     auto pool = std::make_shared<ThreadPool>(
         threads == 0 ? default_thread_count() : threads);
     const std::lock_guard<std::mutex> lock(g_pool_mutex);
-    g_pool = std::move(pool);
+    obs::registry();
+    pool_slot() = std::move(pool);
 }
 
 void warm_pool() {

@@ -31,6 +31,8 @@
 
 #include <cstddef>
 #include <functional>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "exec/thread_pool.hpp"
@@ -50,8 +52,26 @@ struct ExecOptions {
 /// std::thread::hardware_concurrency(), never 0.
 std::size_t hardware_threads() noexcept;
 
-/// The default execution width: WIMI_THREADS when set and >= 1, else
-/// hardware_threads(). Read once per process.
+/// Strict parse of a WIMI_THREADS-style value: decimal digits only — a
+/// sign, whitespace, or any other character rejects (so "-1" is
+/// invalid instead of wrapping to ULONG_MAX the way strtoul parses
+/// it). Returns nullopt for empty, non-numeric, or zero input;
+/// saturates (without failing) on values beyond std::size_t.
+std::optional<std::size_t> parse_thread_env(std::string_view value) noexcept;
+
+/// Cap applied to WIMI_THREADS: oversubscription past this measures
+/// only contention, so larger requests clamp here with a warning log.
+std::size_t max_thread_env() noexcept;  // 4 * hardware_threads()
+
+/// Testable core of default_thread_count(): resolves an execution
+/// width from one WIMI_THREADS-style value (nullptr = unset). Invalid
+/// values warn and fall back to hardware_threads(); values over
+/// max_thread_env() warn and clamp.
+std::size_t resolve_thread_count(const char* env_value);
+
+/// The default execution width: WIMI_THREADS (validated and clamped,
+/// see resolve_thread_count) when set, else hardware_threads(). Read
+/// once per process.
 std::size_t default_thread_count();
 
 /// Current width of the process-wide pool.

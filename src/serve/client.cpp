@@ -1,0 +1,114 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace wimi::serve {
+
+ServeClient::ServeClient(const std::string& socket_path) {
+    sockaddr_un addr{};
+    ensure(!socket_path.empty() &&
+               socket_path.size() < sizeof(addr.sun_path),
+           "ServeClient: bad socket path");
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ensure(fd_ >= 0, "ServeClient: socket() failed");
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+        const std::string reason = std::strerror(errno);
+        ::close(fd_);
+        fd_ = -1;
+        throw Error("ServeClient: connect(" + socket_path +
+                    ") failed: " + reason);
+    }
+}
+
+ServeClient::~ServeClient() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+    }
+}
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_request_id_(other.next_request_id_) {}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+    if (this != &other) {
+        if (fd_ >= 0) {
+            ::close(fd_);
+        }
+        fd_ = std::exchange(other.fd_, -1);
+        next_request_id_ = other.next_request_id_;
+    }
+    return *this;
+}
+
+ClientResult ServeClient::roundtrip(wire::Request request) {
+    ensure(fd_ >= 0, "ServeClient: not connected");
+    request.request_id = next_request_id_++;
+    wire::write_record(fd_, wire::encode_request(request));
+    auto record = wire::read_record(fd_, "WSRP");
+    ensure(record.has_value(),
+           "ServeClient: daemon closed the connection");
+    const wire::Response response = wire::decode_response(*record);
+    ensure(response.request_id == request.request_id,
+           "ServeClient: response id does not match the request");
+    ClientResult result;
+    result.status = response.status;
+    result.material_id = response.material_id;
+    result.material_name = response.material_name;
+    result.model_digest = response.model_digest;
+    result.queue_us = response.queue_us;
+    result.batch_wall_us = response.batch_wall_us;
+    result.batch_size = response.batch_size;
+    result.message = response.message;
+    return result;
+}
+
+ClientResult ServeClient::predict_features(
+    std::span<const double> features) {
+    wire::Request request;
+    request.type = wire::MessageType::kPredictFeatures;
+    request.features.assign(features.begin(), features.end());
+    return roundtrip(std::move(request));
+}
+
+ClientResult ServeClient::predict_series(const csi::CsiSeries& baseline,
+                                         const csi::CsiSeries& target) {
+    wire::Request request;
+    request.type = wire::MessageType::kPredictSeries;
+    request.baseline = baseline;
+    request.target = target;
+    return roundtrip(std::move(request));
+}
+
+ClientResult ServeClient::ping() {
+    wire::Request request;
+    request.type = wire::MessageType::kPing;
+    return roundtrip(std::move(request));
+}
+
+ClientResult ServeClient::swap_model(const std::string& path) {
+    wire::Request request;
+    request.type = wire::MessageType::kSwapModel;
+    request.path = path;
+    return roundtrip(std::move(request));
+}
+
+ClientResult ServeClient::request_shutdown() {
+    wire::Request request;
+    request.type = wire::MessageType::kShutdown;
+    return roundtrip(std::move(request));
+}
+
+}  // namespace wimi::serve

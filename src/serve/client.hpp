@@ -1,0 +1,78 @@
+// Blocking client for the wimi_serve daemon.
+//
+// One ServeClient is one Unix-domain connection speaking the serve/wire
+// protocol synchronously: send a request, read its response. Clients
+// are cheap (a connect + two small buffers); concurrency comes from
+// many clients — the daemon coalesces their concurrent requests into
+// batches, which is the whole point of the process boundary.
+//
+// Not thread-safe: one ServeClient per thread. All entry points throw
+// wimi::Error on transport or protocol damage (broken connection, CRC
+// mismatch, response id mismatch); a *served rejection* — overloaded,
+// bad request, shutting down — is not an exception but a Result with
+// ok() == false, because backpressure is an expected answer the caller
+// must be able to branch on cheaply.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "csi/frame.hpp"
+#include "serve/wire.hpp"
+
+namespace wimi::serve {
+
+/// One daemon answer. For predicts, `material_id`/`material_name` and
+/// the serving model digest are meaningful on ok(); the queue/batch
+/// telemetry mirrors the serve.daemon.* histograms for this request.
+struct ClientResult {
+    wire::Status status = wire::Status::kOk;
+    int material_id = -1;
+    std::string material_name;
+    std::string model_digest;
+    double queue_us = 0.0;
+    double batch_wall_us = 0.0;
+    std::uint32_t batch_size = 0;
+    std::string message;  ///< rejection reason when !ok()
+
+    bool ok() const { return status == wire::Status::kOk; }
+};
+
+class ServeClient {
+public:
+    /// Connects to the daemon's socket. Throws wimi::Error when the
+    /// daemon is not there.
+    explicit ServeClient(const std::string& socket_path);
+    ~ServeClient();
+
+    ServeClient(const ServeClient&) = delete;
+    ServeClient& operator=(const ServeClient&) = delete;
+    ServeClient(ServeClient&& other) noexcept;
+    ServeClient& operator=(ServeClient&& other) noexcept;
+
+    /// Classifies a pre-extracted (unscaled) feature vector.
+    ClientResult predict_features(std::span<const double> features);
+
+    /// Classifies one (baseline, target) capture pair.
+    ClientResult predict_series(const csi::CsiSeries& baseline,
+                                const csi::CsiSeries& target);
+
+    /// Liveness probe; ok() result carries the serving model digest.
+    ClientResult ping();
+
+    /// Asks the daemon to hot-swap to the artifact at `path` (a path in
+    /// the *daemon's* filesystem namespace).
+    ClientResult swap_model(const std::string& path);
+
+    /// Asks the daemon to shut down (it drains first).
+    ClientResult request_shutdown();
+
+private:
+    ClientResult roundtrip(wire::Request request);
+
+    int fd_ = -1;
+    std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace wimi::serve

@@ -1,0 +1,596 @@
+#include "serve/daemon.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+#include "exec/parallel.hpp"
+#include "obs/obs.hpp"
+
+namespace wimi::serve {
+namespace {
+
+constexpr const char* kLogComponent = "serve.daemon";
+
+double us_since(std::chrono::steady_clock::time_point start,
+                std::chrono::steady_clock::time_point end) {
+    const std::chrono::duration<double, std::micro> elapsed = end - start;
+    return elapsed.count();
+}
+
+/// request_id straight from a framed record's header (offset 12),
+/// so a response can echo the id even when full decoding failed.
+std::uint64_t peek_request_id(const std::vector<std::uint8_t>& record) {
+    if (record.size() < wire::kWireHeaderBytes) {
+        return 0;
+    }
+    std::uint64_t id = 0;
+    for (int i = 7; i >= 0; --i) {
+        id = (id << 8) |
+             static_cast<std::uint64_t>(record[12 + static_cast<std::size_t>(i)]);
+    }
+    return id;
+}
+
+void close_if_open(int& fd) {
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
+    ensure(!options_.socket_path.empty(),
+           "Daemon: socket_path must be set");
+    sockaddr_un probe{};
+    ensure(options_.socket_path.size() < sizeof(probe.sun_path),
+           "Daemon: socket_path too long for sockaddr_un");
+    ensure(options_.max_queue >= 1, "Daemon: max_queue must be >= 1");
+    ensure(options_.max_batch >= 1, "Daemon: max_batch must be >= 1");
+    engine_ = InferenceEngine::load_cached(options_.model_path);
+}
+
+Daemon::~Daemon() { stop(); }
+
+std::shared_ptr<const InferenceEngine> Daemon::current_engine() const {
+    const std::lock_guard<std::mutex> lock(engine_mutex_);
+    return engine_;
+}
+
+std::string Daemon::model_digest() const {
+    return current_engine()->digest();
+}
+
+bool Daemon::running() const {
+    const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    return running_;
+}
+
+void Daemon::start() {
+    {
+        const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+        ensure(!running_, "Daemon: already started");
+    }
+
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ensure(listen_fd_ >= 0, "Daemon: socket() failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(options_.socket_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+        const std::string reason = std::strerror(errno);
+        close_if_open(listen_fd_);
+        throw Error("Daemon: bind(" + options_.socket_path +
+                    ") failed: " + reason);
+    }
+    if (::listen(listen_fd_, 64) != 0) {
+        const std::string reason = std::strerror(errno);
+        close_if_open(listen_fd_);
+        ::unlink(options_.socket_path.c_str());
+        throw Error("Daemon: listen failed: " + reason);
+    }
+    if (::pipe(wake_pipe_) != 0) {
+        close_if_open(listen_fd_);
+        ::unlink(options_.socket_path.c_str());
+        throw Error("Daemon: pipe failed");
+    }
+
+    {
+        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        draining_ = false;
+        batch_stop_ = false;
+    }
+    {
+        const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+        running_ = true;
+        shutdown_requested_ = false;
+    }
+    batch_thread_ = std::thread([this] { batch_loop(); });
+    accept_thread_ = std::thread([this] { accept_loop(); });
+    WIMI_OBS_LOG_INFO(kLogComponent, "daemon started",
+                      obs::kv("socket", options_.socket_path),
+                      obs::kv("model", options_.model_path),
+                      obs::kv("digest", model_digest()),
+                      obs::kv("max_queue", options_.max_queue),
+                      obs::kv("max_batch", options_.max_batch));
+}
+
+void Daemon::stop() {
+    {
+        const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+        if (!running_) {
+            return;
+        }
+        running_ = false;
+    }
+
+    // 1. Stop accepting connections: wake the poll, join the acceptor.
+    if (wake_pipe_[1] >= 0) {
+        const char byte = 'x';
+        [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+    }
+    if (accept_thread_.joinable()) {
+        accept_thread_.join();
+    }
+    close_if_open(listen_fd_);
+    ::unlink(options_.socket_path.c_str());
+
+    // 2. Refuse new work, then let the batcher answer everything that
+    //    was already admitted. Connection readers keep running so the
+    //    answers still reach their clients.
+    {
+        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        draining_ = true;
+        batch_stop_ = true;
+    }
+    queue_cv_.notify_all();
+    if (batch_thread_.joinable()) {
+        batch_thread_.join();
+    }
+
+    // 3. Every admitted request is answered; unblock reader threads
+    //    waiting for the *next* request (SHUT_RD leaves their pending
+    //    response writes intact) and join them.
+    {
+        const std::lock_guard<std::mutex> lock(connections_mutex_);
+        for (const auto& connection : connections_) {
+            if (connection->fd >= 0) {
+                ::shutdown(connection->fd, SHUT_RD);
+            }
+        }
+    }
+    for (;;) {
+        std::unique_ptr<Connection> connection;
+        {
+            const std::lock_guard<std::mutex> lock(connections_mutex_);
+            if (connections_.empty()) {
+                break;
+            }
+            connection = std::move(connections_.back());
+            connections_.pop_back();
+        }
+        if (connection->thread.joinable()) {
+            connection->thread.join();
+        }
+    }
+
+    close_if_open(wake_pipe_[0]);
+    close_if_open(wake_pipe_[1]);
+    WIMI_OBS_LOG_INFO(kLogComponent, "daemon stopped",
+                      obs::kv("socket", options_.socket_path));
+}
+
+bool Daemon::swap_model(const std::filesystem::path& path,
+                        std::string* error) {
+    try {
+        // load_cached revalidates against the artifact's current bytes
+        // (size+mtime fast path, digest on mismatch), so a model
+        // retrained in place — the common hot-reload shape — loads
+        // fresh instead of serving the stale cache entry.
+        auto next = InferenceEngine::load_cached(path);
+        std::string old_digest;
+        {
+            const std::lock_guard<std::mutex> lock(engine_mutex_);
+            old_digest = engine_->digest();
+            engine_ = std::move(next);
+        }
+        swaps_.fetch_add(1, std::memory_order_relaxed);
+        WIMI_OBS_COUNT("serve.daemon.swaps", 1);
+        WIMI_OBS_LOG_INFO(kLogComponent, "model swapped",
+                          obs::kv("path", path.string()),
+                          obs::kv("old_digest", old_digest),
+                          obs::kv("new_digest", model_digest()));
+        return true;
+    } catch (const std::exception& e) {
+        if (error != nullptr) {
+            *error = e.what();
+        }
+        WIMI_OBS_LOG_WARN(kLogComponent, "model swap failed",
+                          obs::kv("path", path.string()),
+                          obs::kv("reason", e.what()));
+        return false;
+    }
+}
+
+bool Daemon::shutdown_requested() const {
+    const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    return shutdown_requested_;
+}
+
+void Daemon::wait_for_shutdown_request() {
+    std::unique_lock<std::mutex> lock(lifecycle_mutex_);
+    lifecycle_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+DaemonStats Daemon::stats() const {
+    DaemonStats stats;
+    stats.connections = connections_total_.load(std::memory_order_relaxed);
+    stats.requests = requests_total_.load(std::memory_order_relaxed);
+    stats.responses_ok = responses_ok_.load(std::memory_order_relaxed);
+    stats.rejected_overload =
+        rejected_overload_.load(std::memory_order_relaxed);
+    stats.rejected_bad_request =
+        rejected_bad_request_.load(std::memory_order_relaxed);
+    stats.rejected_shutting_down =
+        rejected_shutting_down_.load(std::memory_order_relaxed);
+    stats.server_errors = server_errors_.load(std::memory_order_relaxed);
+    stats.batches = batches_.load(std::memory_order_relaxed);
+    stats.max_batch_size = max_batch_size_.load(std::memory_order_relaxed);
+    stats.swaps = swaps_.load(std::memory_order_relaxed);
+    return stats;
+}
+
+void Daemon::accept_loop() {
+    for (;;) {
+        pollfd fds[2];
+        fds[0] = {listen_fd_, POLLIN, 0};
+        fds[1] = {wake_pipe_[0], POLLIN, 0};
+        const int ready = ::poll(fds, 2, -1);
+        if (ready < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return;
+        }
+        if ((fds[1].revents & POLLIN) != 0) {
+            return;  // stop() woke us
+        }
+        if ((fds[0].revents & POLLIN) == 0) {
+            continue;
+        }
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED) {
+                continue;
+            }
+            return;
+        }
+        connections_total_.fetch_add(1, std::memory_order_relaxed);
+        WIMI_OBS_COUNT("serve.daemon.connections", 1);
+        reap_finished_connections();
+        auto connection = std::make_unique<Connection>();
+        Connection* raw = connection.get();
+        raw->fd = fd;
+        {
+            const std::lock_guard<std::mutex> lock(connections_mutex_);
+            connections_.push_back(std::move(connection));
+        }
+        raw->thread =
+            std::thread([this, fd, raw] { serve_connection(fd, raw); });
+    }
+}
+
+void Daemon::reap_finished_connections() {
+    std::vector<std::unique_ptr<Connection>> finished;
+    {
+        const std::lock_guard<std::mutex> lock(connections_mutex_);
+        for (auto it = connections_.begin(); it != connections_.end();) {
+            if ((*it)->finished.load(std::memory_order_acquire)) {
+                finished.push_back(std::move(*it));
+                it = connections_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (const auto& connection : finished) {
+        if (connection->thread.joinable()) {
+            connection->thread.join();
+        }
+    }
+}
+
+std::shared_ptr<Daemon::Pending> Daemon::try_enqueue(
+    wire::Request request, wire::Response* rejection) {
+    auto pending = std::make_shared<Pending>();
+    pending->request = std::move(request);
+    pending->received = std::chrono::steady_clock::now();
+    {
+        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        if (draining_) {
+            rejection->status = wire::Status::kShuttingDown;
+            rejection->message = "daemon is shutting down";
+            rejected_shutting_down_.fetch_add(1, std::memory_order_relaxed);
+            WIMI_OBS_COUNT("serve.daemon.rejected.shutting_down", 1);
+            return nullptr;
+        }
+        if (queue_.size() >= options_.max_queue) {
+            rejection->status = wire::Status::kOverloaded;
+            rejection->message =
+                "admission queue full (" +
+                std::to_string(options_.max_queue) + " waiting)";
+            rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+            WIMI_OBS_COUNT("serve.daemon.rejected.overload", 1);
+            return nullptr;
+        }
+        queue_.push_back(pending);
+        WIMI_OBS_GAUGE_SET("serve.daemon.queue_depth",
+                           static_cast<double>(queue_.size()));
+    }
+    queue_cv_.notify_one();
+    return pending;
+}
+
+wire::Response Daemon::handle_control(const wire::Request& request) {
+    wire::Response response;
+    response.request_id = request.request_id;
+    switch (request.type) {
+        case wire::MessageType::kPing: {
+            response.status = wire::Status::kOk;
+            response.model_digest = model_digest();
+            return response;
+        }
+        case wire::MessageType::kSwapModel: {
+            if (!options_.allow_swap) {
+                response.status = wire::Status::kBadRequest;
+                response.message = "model swap disabled";
+                rejected_bad_request_.fetch_add(1,
+                                                std::memory_order_relaxed);
+                WIMI_OBS_COUNT("serve.daemon.rejected.bad_request", 1);
+                return response;
+            }
+            std::string error;
+            if (swap_model(request.path, &error)) {
+                response.status = wire::Status::kOk;
+                response.model_digest = model_digest();
+            } else {
+                response.status = wire::Status::kBadRequest;
+                response.message = "swap failed: " + error;
+                rejected_bad_request_.fetch_add(1,
+                                                std::memory_order_relaxed);
+                WIMI_OBS_COUNT("serve.daemon.rejected.bad_request", 1);
+            }
+            return response;
+        }
+        case wire::MessageType::kShutdown: {
+            if (!options_.allow_shutdown) {
+                response.status = wire::Status::kBadRequest;
+                response.message = "remote shutdown disabled";
+                rejected_bad_request_.fetch_add(1,
+                                                std::memory_order_relaxed);
+                WIMI_OBS_COUNT("serve.daemon.rejected.bad_request", 1);
+                return response;
+            }
+            response.status = wire::Status::kOk;
+            response.model_digest = model_digest();
+            {
+                const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+                shutdown_requested_ = true;
+            }
+            lifecycle_cv_.notify_all();
+            WIMI_OBS_LOG_INFO(kLogComponent, "shutdown requested");
+            return response;
+        }
+        default: {
+            response.status = wire::Status::kBadRequest;
+            response.message = "unknown request type";
+            rejected_bad_request_.fetch_add(1, std::memory_order_relaxed);
+            WIMI_OBS_COUNT("serve.daemon.rejected.bad_request", 1);
+            return response;
+        }
+    }
+}
+
+void Daemon::serve_connection(int fd, Connection* connection) {
+    for (;;) {
+        std::vector<std::uint8_t> record;
+        wire::Request request;
+        bool decoded = false;
+        try {
+            auto raw = wire::read_record(fd, "WSRQ");
+            if (!raw.has_value()) {
+                break;  // clean EOF between records
+            }
+            record = std::move(*raw);
+            request = wire::decode_request(record);
+            decoded = true;
+        } catch (const std::exception& e) {
+            // Framing is not trustworthy past a decode error; answer
+            // with what the header said (best effort) and hang up.
+            wire::Response response;
+            response.status = wire::Status::kBadRequest;
+            response.request_id = peek_request_id(record);
+            response.message = e.what();
+            rejected_bad_request_.fetch_add(1, std::memory_order_relaxed);
+            WIMI_OBS_COUNT("serve.daemon.rejected.bad_request", 1);
+            WIMI_OBS_LOG_WARN(kLogComponent, "malformed request",
+                              obs::kv("reason", e.what()));
+            try {
+                wire::write_record(fd, wire::encode_response(response));
+            } catch (const std::exception&) {
+            }
+            break;
+        }
+        (void)decoded;
+        requests_total_.fetch_add(1, std::memory_order_relaxed);
+        WIMI_OBS_COUNT("serve.daemon.requests", 1);
+
+        wire::Response response;
+        if (request.type == wire::MessageType::kPredictFeatures ||
+            request.type == wire::MessageType::kPredictSeries) {
+            response.request_id = request.request_id;
+            const std::uint64_t request_id = request.request_id;
+            std::shared_ptr<Pending> pending =
+                try_enqueue(std::move(request), &response);
+            if (pending != nullptr) {
+                std::unique_lock<std::mutex> lock(pending->mutex);
+                pending->cv.wait(lock, [&] { return pending->done; });
+                response = pending->response;
+                response.request_id = request_id;
+            }
+        } else {
+            response = handle_control(request);
+        }
+        if (response.status == wire::Status::kOk) {
+            responses_ok_.fetch_add(1, std::memory_order_relaxed);
+            WIMI_OBS_COUNT("serve.daemon.responses.ok", 1);
+        }
+        try {
+            wire::write_record(fd, wire::encode_response(response));
+        } catch (const std::exception& e) {
+            WIMI_OBS_LOG_WARN(kLogComponent, "response write failed",
+                              obs::kv("reason", e.what()));
+            break;
+        }
+    }
+    {
+        // stop() reads connection->fd under this mutex to SHUT_RD
+        // still-open sockets; closing under the same lock means it can
+        // never see (and shut down) a closed — possibly reused — fd.
+        const std::lock_guard<std::mutex> lock(connections_mutex_);
+        ::close(fd);
+        connection->fd = -1;
+    }
+    connection->finished.store(true, std::memory_order_release);
+}
+
+void Daemon::batch_loop() {
+    for (;;) {
+        std::vector<std::shared_ptr<Pending>> batch;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock, [this] {
+                return !queue_.empty() || batch_stop_;
+            });
+            if (queue_.empty()) {
+                if (batch_stop_) {
+                    return;  // drained: every admitted request answered
+                }
+                continue;
+            }
+            const std::size_t take =
+                std::min(options_.max_batch, queue_.size());
+            batch.assign(queue_.begin(),
+                         queue_.begin() + static_cast<std::ptrdiff_t>(take));
+            queue_.erase(queue_.begin(),
+                         queue_.begin() + static_cast<std::ptrdiff_t>(take));
+            WIMI_OBS_GAUGE_SET("serve.daemon.queue_depth",
+                               static_cast<double>(queue_.size()));
+        }
+        process_batch(batch);
+    }
+}
+
+void Daemon::process_batch(
+    const std::vector<std::shared_ptr<Pending>>& batch) {
+    // One engine snapshot per batch: a concurrent swap_model() cannot
+    // mix two models inside a batch, and in-flight batches keep the
+    // engine they started with alive through the shared_ptr.
+    const std::shared_ptr<const InferenceEngine> engine = current_engine();
+    if (options_.batch_stall.count() > 0) {
+        std::this_thread::sleep_for(options_.batch_stall);
+    }
+    const auto start = std::chrono::steady_clock::now();
+
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t prev_max =
+        max_batch_size_.load(std::memory_order_relaxed);
+    while (prev_max < batch.size() &&
+           !max_batch_size_.compare_exchange_weak(
+               prev_max, batch.size(), std::memory_order_relaxed)) {
+    }
+    WIMI_OBS_COUNT("serve.daemon.batches", 1);
+    WIMI_OBS_HISTOGRAM("serve.daemon.batch.size",
+                       static_cast<double>(batch.size()));
+
+    exec::ExecOptions exec_options;
+    exec_options.label = "serve.daemon.batch";
+    exec_options.threads = options_.batch_threads;
+    // Per-item failures stay per-item: a bad feature width in one
+    // request must not fail the rest of its batch, so exceptions are
+    // converted to error responses inside the task.
+    std::vector<wire::Response> responses =
+        exec::parallel_map<wire::Response>(
+            batch.size(),
+            [&](std::size_t i) {
+                const wire::Request& request = batch[i]->request;
+                wire::Response response;
+                response.request_id = request.request_id;
+                try {
+                    const Prediction prediction =
+                        request.type == wire::MessageType::kPredictFeatures
+                            ? engine->predict_features(request.features)
+                            : engine->predict(request.baseline,
+                                              request.target);
+                    response.status = wire::Status::kOk;
+                    response.material_id = prediction.material_id;
+                    response.material_name = prediction.material_name;
+                    response.model_digest = engine->digest();
+                } catch (const Error& e) {
+                    response.status = wire::Status::kBadRequest;
+                    response.message = e.what();
+                } catch (const std::exception& e) {
+                    response.status = wire::Status::kServerError;
+                    response.message = e.what();
+                }
+                return response;
+            },
+            exec_options);
+
+    const auto end = std::chrono::steady_clock::now();
+    const double wall_us = us_since(start, end);
+    WIMI_OBS_HISTOGRAM("serve.daemon.batch_wall_us", wall_us);
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        Pending& pending = *batch[i];
+        wire::Response& response = responses[i];
+        const double queue_us = us_since(pending.received, start);
+        const double e2e_us = us_since(pending.received, end);
+        WIMI_OBS_HISTOGRAM("serve.daemon.queue_us", queue_us);
+        WIMI_OBS_HISTOGRAM("serve.daemon.e2e_us", e2e_us);
+        if (response.status == wire::Status::kOk) {
+            response.queue_us = queue_us;
+            response.batch_wall_us = wall_us;
+            response.batch_size = static_cast<std::uint32_t>(batch.size());
+        } else if (response.status == wire::Status::kBadRequest) {
+            rejected_bad_request_.fetch_add(1, std::memory_order_relaxed);
+            WIMI_OBS_COUNT("serve.daemon.rejected.bad_request", 1);
+        } else {
+            server_errors_.fetch_add(1, std::memory_order_relaxed);
+            WIMI_OBS_COUNT("serve.daemon.server_errors", 1);
+        }
+        {
+            const std::lock_guard<std::mutex> lock(pending.mutex);
+            pending.response = std::move(response);
+            pending.done = true;
+        }
+        pending.cv.notify_one();
+    }
+    WIMI_OBS_LOG_DEBUG(kLogComponent, "batch served",
+                       obs::kv("batch_size", batch.size()),
+                       obs::kv("wall_us", wall_us),
+                       obs::kv("digest", engine->digest()));
+}
+
+}  // namespace wimi::serve

@@ -155,6 +155,39 @@ std::string hex32(std::uint32_t v) {
     return out;
 }
 
+std::string hex64(std::uint64_t v) {
+    static const char* digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[v & 0xFu];
+        v >>= 4;
+    }
+    return out;
+}
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x00000100000001b3ull;
+
+/// Streaming 64-bit FNV-1a: fold `size` bytes into `state`.
+///
+/// The artifact digest deliberately does NOT reuse CRC-32. Every record
+/// in the container ends with its own CRC-32 appended little-endian,
+/// and CRC linearity makes exactly that layout self-cancelling: the
+/// trailer's contribution to any whole-file CRC annihilates the
+/// record content's, so a whole-file CRC-32 "digest" collapses to a
+/// function of the record layout alone — identical for any two
+/// same-shape artifacts, e.g. a model and its retrained replacement.
+/// FNV-1a mixes multiplicatively and has no such cancellation.
+std::uint64_t fnv1a64(const void* data, std::size_t size,
+                      std::uint64_t state) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        state ^= bytes[i];
+        state *= kFnvPrime;
+    }
+    return state;
+}
+
 double finite_or_throw(double v, const char* what) {
     ensure(std::isfinite(v),
            std::string("load_model: non-finite ") + what);
@@ -505,7 +538,8 @@ TrainedModel load_model(std::istream& stream, ModelInfo* info) {
     if (info != nullptr) {
         info->version = version;
         info->file_bytes = bytes.size();
-        info->digest = hex32(crc32(bytes.data(), bytes.size()));
+        info->digest =
+            hex64(fnv1a64(bytes.data(), bytes.size(), kFnvOffset));
         info->feature_width = model.feature_width();
         info->class_count = model.class_names.size();
         info->pair_count = model.pairs.size();
@@ -530,16 +564,17 @@ std::string model_file_digest(const std::filesystem::path& path) {
     std::ifstream in(path, std::ios::binary);
     ensure(in.is_open(),
            "model_file_digest: cannot open " + path.string());
-    Crc32 crc;
+    std::uint64_t state = kFnvOffset;
     char chunk[4096];
     while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
-        crc.update(chunk, static_cast<std::size_t>(in.gcount()));
+        state = fnv1a64(chunk, static_cast<std::size_t>(in.gcount()),
+                        state);
         if (in.eof()) {
             break;
         }
     }
     ensure(!in.bad(), "model_file_digest: read failure");
-    return hex32(crc.value());
+    return hex64(state);
 }
 
 }  // namespace wimi::serve

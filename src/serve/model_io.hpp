@@ -76,8 +76,11 @@ inline constexpr std::uint32_t kModelCurrentVersion = kModelVersion1;
 struct ModelInfo {
     std::uint32_t version = 0;
     std::uint64_t file_bytes = 0;
-    /// CRC-32 (hex) over the entire artifact — the model identity
-    /// recorded in run manifests.
+    /// 64-bit FNV-1a (hex) over the entire artifact — the model
+    /// identity recorded in run manifests and served by the daemon.
+    /// Not CRC-32: the per-record CRC trailers inside the container
+    /// cancel record content out of any whole-file CRC, so a CRC
+    /// digest would be identical for any two same-shape artifacts.
     std::string digest;
     std::size_t feature_width = 0;
     std::size_t class_count = 0;
@@ -106,8 +109,8 @@ TrainedModel load_model(std::istream& stream, ModelInfo* info = nullptr);
 TrainedModel load_model_file(const std::filesystem::path& path,
                              ModelInfo* info = nullptr);
 
-/// CRC-32 hex digest of the artifact at `path` (whole-file), without
-/// decoding it. Matches ModelInfo::digest for a loadable file.
+/// Content digest (64-bit FNV-1a, hex) of the artifact at `path`,
+/// without decoding it. Matches ModelInfo::digest for a loadable file.
 std::string model_file_digest(const std::filesystem::path& path);
 
 }  // namespace wimi::serve

@@ -1,0 +1,391 @@
+#include "serve/wire.hpp"
+
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <string_view>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+#include "csi/trace_io.hpp"
+
+namespace wimi::serve::wire {
+namespace {
+
+constexpr std::uint32_t fourcc(const char magic[4]) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(magic[0])) |
+           (static_cast<std::uint32_t>(static_cast<unsigned char>(magic[1]))
+            << 8) |
+           (static_cast<std::uint32_t>(static_cast<unsigned char>(magic[2]))
+            << 16) |
+           (static_cast<std::uint32_t>(static_cast<unsigned char>(magic[3]))
+            << 24);
+}
+
+constexpr char kRequestMagic[4] = {'W', 'S', 'R', 'Q'};
+constexpr char kResponseMagic[4] = {'W', 'S', 'R', 'P'};
+
+// --- explicit little-endian field codec ---------------------------------
+
+void put_u32_le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+    for (int shift = 0; shift < 32; shift += 8) {
+        out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xFFu));
+    }
+}
+
+void put_u64_le(std::vector<std::uint8_t>& out, std::uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8) {
+        out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xFFu));
+    }
+}
+
+void put_i32_le(std::vector<std::uint8_t>& out, std::int32_t v) {
+    put_u32_le(out, static_cast<std::uint32_t>(v));
+}
+
+void put_f64_le(std::vector<std::uint8_t>& out, double v) {
+    put_u64_le(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_string(std::vector<std::uint8_t>& out, std::string_view s) {
+    ensure(s.size() <= 0xFFFFFFFFu, "wire: string too long");
+    put_u32_le(out, static_cast<std::uint32_t>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_bytes(std::vector<std::uint8_t>& out, std::string_view bytes) {
+    put_u64_le(out, bytes.size());
+    out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+/// Bounds-checked reader (same shape as the model_io / trace_io
+/// cursors): truncated or lying lengths become clean decode errors.
+class Cursor {
+public:
+    Cursor(const std::uint8_t* data, std::size_t size)
+        : data_(data), size_(size) {}
+
+    bool exhausted() const { return pos_ == size_; }
+
+    std::uint32_t get_u32() {
+        need(4, "u32");
+        std::uint32_t v = 0;
+        for (int i = 3; i >= 0; --i) {
+            v = (v << 8) | static_cast<std::uint32_t>(
+                               data_[pos_ + static_cast<std::size_t>(i)]);
+        }
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t get_u64() {
+        need(8, "u64");
+        std::uint64_t v = 0;
+        for (int i = 7; i >= 0; --i) {
+            v = (v << 8) | static_cast<std::uint64_t>(
+                               data_[pos_ + static_cast<std::size_t>(i)]);
+        }
+        pos_ += 8;
+        return v;
+    }
+
+    std::int32_t get_i32() { return static_cast<std::int32_t>(get_u32()); }
+
+    double get_f64() { return std::bit_cast<double>(get_u64()); }
+
+    std::string get_string() {
+        const std::uint32_t bytes = get_u32();
+        need(bytes, "string body");
+        std::string s(reinterpret_cast<const char*>(data_ + pos_), bytes);
+        pos_ += bytes;
+        return s;
+    }
+
+    std::string get_bytes() {
+        const std::uint64_t bytes = get_u64();
+        need(bytes, "byte region");
+        std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                      static_cast<std::size_t>(bytes));
+        pos_ += static_cast<std::size_t>(bytes);
+        return s;
+    }
+
+private:
+    void need(std::uint64_t bytes, const char* what) {
+        ensure(bytes <= size_ - pos_,
+               std::string("wire: record truncated reading ") + what);
+    }
+
+    const std::uint8_t* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+/// Frames `body` as one record: header + body + CRC over both.
+std::vector<std::uint8_t> frame_record(const char magic[4],
+                                       std::uint32_t type_or_status,
+                                       std::uint64_t request_id,
+                                       const std::vector<std::uint8_t>& body) {
+    std::vector<std::uint8_t> record;
+    record.reserve(kWireHeaderBytes + body.size() + kWireTrailerBytes);
+    put_u32_le(record, fourcc(magic));
+    put_u32_le(record, kWireCurrentVersion);
+    put_u32_le(record, type_or_status);
+    put_u64_le(record, request_id);
+    put_u64_le(record, body.size());
+    record.insert(record.end(), body.begin(), body.end());
+    put_u32_le(record, crc32(record.data(), record.size()));
+    return record;
+}
+
+/// Validates framing (magic, version, lengths, CRC) and returns the
+/// body cursor plus the type/status and request id fields.
+Cursor open_record(std::span<const std::uint8_t> record,
+                   const char magic[4], std::uint32_t* type_or_status,
+                   std::uint64_t* request_id) {
+    ensure(record.size() >= kWireHeaderBytes + kWireTrailerBytes,
+           "wire: record shorter than header + CRC");
+    Cursor header(record.data(), record.size());
+    ensure(header.get_u32() == fourcc(magic), "wire: bad record magic");
+    const std::uint32_t version = header.get_u32();
+    ensure(version == kWireVersion1, "wire: unknown protocol version");
+    *type_or_status = header.get_u32();
+    *request_id = header.get_u64();
+    const std::uint64_t body_bytes = header.get_u64();
+    ensure(body_bytes <= kMaxBodyBytes, "wire: body length over limit");
+    ensure(record.size() ==
+               kWireHeaderBytes + body_bytes + kWireTrailerBytes,
+           "wire: record length does not match body length");
+    const std::size_t crc_offset = record.size() - kWireTrailerBytes;
+    Cursor trailer(record.data() + crc_offset, kWireTrailerBytes);
+    ensure(trailer.get_u32() == crc32(record.data(), crc_offset),
+           "wire: record CRC mismatch");
+    return Cursor(record.data() + kWireHeaderBytes,
+                  static_cast<std::size_t>(body_bytes));
+}
+
+std::string serialize_series(const csi::CsiSeries& series) {
+    std::ostringstream out;
+    csi::write_trace(out, series);
+    return std::move(out).str();
+}
+
+csi::CsiSeries deserialize_series(const std::string& bytes,
+                                  const char* which) {
+    try {
+        std::istringstream in(bytes);
+        return csi::read_trace(in);  // strict: any damage throws
+    } catch (const Error& e) {
+        throw Error(std::string("wire: bad ") + which +
+                    " series: " + e.what());
+    }
+}
+
+void read_exact(int fd, std::uint8_t* data, std::size_t size,
+                const char* what) {
+    std::size_t done = 0;
+    while (done < size) {
+        const ssize_t n = ::read(fd, data + done, size - done);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            throw Error(std::string("wire: read failed (") +
+                        std::strerror(errno) + ") in " + what);
+        }
+        ensure(n != 0, std::string("wire: connection closed mid-") + what);
+        done += static_cast<std::size_t>(n);
+    }
+}
+
+}  // namespace
+
+std::string_view status_name(Status status) noexcept {
+    switch (status) {
+        case Status::kOk:
+            return "ok";
+        case Status::kOverloaded:
+            return "overloaded";
+        case Status::kBadRequest:
+            return "bad_request";
+        case Status::kServerError:
+            return "server_error";
+        case Status::kShuttingDown:
+            return "shutting_down";
+    }
+    return "unknown";
+}
+
+std::vector<std::uint8_t> encode_request(const Request& request) {
+    std::vector<std::uint8_t> body;
+    switch (request.type) {
+        case MessageType::kPredictFeatures: {
+            ensure(request.features.size() <= 0xFFFFFFFFu,
+                   "wire: feature vector too wide");
+            put_u32_le(body,
+                       static_cast<std::uint32_t>(request.features.size()));
+            for (const double v : request.features) {
+                put_f64_le(body, v);
+            }
+            break;
+        }
+        case MessageType::kPredictSeries: {
+            put_bytes(body, serialize_series(request.baseline));
+            put_bytes(body, serialize_series(request.target));
+            break;
+        }
+        case MessageType::kSwapModel: {
+            put_string(body, request.path);
+            break;
+        }
+        case MessageType::kPing:
+        case MessageType::kShutdown:
+            break;
+        default:
+            fail("wire: unknown request type");
+    }
+    return frame_record(kRequestMagic,
+                        static_cast<std::uint32_t>(request.type),
+                        request.request_id, body);
+}
+
+std::vector<std::uint8_t> encode_response(const Response& response) {
+    std::vector<std::uint8_t> body;
+    if (response.status == Status::kOk) {
+        put_i32_le(body, response.material_id);
+        put_string(body, response.material_name);
+        put_string(body, response.model_digest);
+        put_f64_le(body, response.queue_us);
+        put_f64_le(body, response.batch_wall_us);
+        put_u32_le(body, response.batch_size);
+    } else {
+        put_string(body, response.message);
+    }
+    return frame_record(kResponseMagic,
+                        static_cast<std::uint32_t>(response.status),
+                        response.request_id, body);
+}
+
+Request decode_request(std::span<const std::uint8_t> record) {
+    std::uint32_t type = 0;
+    Request request;
+    Cursor body =
+        open_record(record, kRequestMagic, &type, &request.request_id);
+    switch (type) {
+        case static_cast<std::uint32_t>(MessageType::kPredictFeatures): {
+            request.type = MessageType::kPredictFeatures;
+            const std::uint32_t width = body.get_u32();
+            request.features.reserve(width);
+            for (std::uint32_t i = 0; i < width; ++i) {
+                request.features.push_back(body.get_f64());
+            }
+            break;
+        }
+        case static_cast<std::uint32_t>(MessageType::kPredictSeries): {
+            request.type = MessageType::kPredictSeries;
+            request.baseline =
+                deserialize_series(body.get_bytes(), "baseline");
+            request.target = deserialize_series(body.get_bytes(), "target");
+            break;
+        }
+        case static_cast<std::uint32_t>(MessageType::kSwapModel): {
+            request.type = MessageType::kSwapModel;
+            request.path = body.get_string();
+            break;
+        }
+        case static_cast<std::uint32_t>(MessageType::kPing):
+            request.type = MessageType::kPing;
+            break;
+        case static_cast<std::uint32_t>(MessageType::kShutdown):
+            request.type = MessageType::kShutdown;
+            break;
+        default:
+            fail("wire: unknown request type");
+    }
+    ensure(body.exhausted(), "wire: trailing bytes after request body");
+    return request;
+}
+
+Response decode_response(std::span<const std::uint8_t> record) {
+    std::uint32_t status = 0;
+    Response response;
+    Cursor body =
+        open_record(record, kResponseMagic, &status, &response.request_id);
+    ensure(status <= static_cast<std::uint32_t>(Status::kShuttingDown),
+           "wire: unknown response status");
+    response.status = static_cast<Status>(status);
+    if (response.status == Status::kOk) {
+        response.material_id = body.get_i32();
+        response.material_name = body.get_string();
+        response.model_digest = body.get_string();
+        response.queue_us = body.get_f64();
+        response.batch_wall_us = body.get_f64();
+        response.batch_size = body.get_u32();
+    } else {
+        response.message = body.get_string();
+    }
+    ensure(body.exhausted(), "wire: trailing bytes after response body");
+    return response;
+}
+
+std::optional<std::vector<std::uint8_t>> read_record(
+    int fd, const char expected_magic[4]) {
+    std::vector<std::uint8_t> record(kWireHeaderBytes);
+    // Peek at the first byte separately so EOF *between* records is a
+    // clean nullopt while EOF inside one is an error.
+    std::size_t first = 0;
+    while (true) {
+        const ssize_t n = ::read(fd, record.data(), 1);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            throw Error(std::string("wire: read failed (") +
+                        std::strerror(errno) + ")");
+        }
+        if (n == 0) {
+            return std::nullopt;
+        }
+        first = 1;
+        break;
+    }
+    read_exact(fd, record.data() + first, kWireHeaderBytes - first,
+               "record header");
+
+    Cursor header(record.data(), kWireHeaderBytes);
+    ensure(header.get_u32() == fourcc(expected_magic),
+           "wire: bad record magic");
+    ensure(header.get_u32() == kWireVersion1,
+           "wire: unknown protocol version");
+    header.get_u32();  // type / status: validated by the decoder
+    header.get_u64();  // request id
+    const std::uint64_t body_bytes = header.get_u64();
+    ensure(body_bytes <= kMaxBodyBytes, "wire: body length over limit");
+
+    record.resize(kWireHeaderBytes + static_cast<std::size_t>(body_bytes) +
+                  kWireTrailerBytes);
+    read_exact(fd, record.data() + kWireHeaderBytes,
+               record.size() - kWireHeaderBytes, "record body");
+    return record;
+}
+
+void write_record(int fd, std::span<const std::uint8_t> record) {
+    std::size_t done = 0;
+    while (done < record.size()) {
+        const ssize_t n =
+            ::write(fd, record.data() + done, record.size() - done);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            throw Error(std::string("wire: write failed (") +
+                        std::strerror(errno) + ")");
+        }
+        done += static_cast<std::size_t>(n);
+    }
+}
+
+}  // namespace wimi::serve::wire

@@ -1,0 +1,153 @@
+// wimi_serve wire protocol: length-prefixed, versioned, CRC-checked
+// request/response records over a local byte stream (Unix-domain
+// socket in practice; any reliable stream works).
+//
+// The framing follows the WCSI conventions (csi/trace_io.hpp,
+// serve/model_io.hpp): every multi-byte field is explicitly
+// little-endian, records carry a magic + version, and a CRC-32
+// (src/common/crc32) over the whole record makes a flipped bit or torn
+// write a clean decode error, never a silently wrong prediction.
+//
+// Request record ("WSRQ"):
+//
+//   offset  size  field
+//        0     4  magic "WSRQ"
+//        4     4  u32 version (= 1)
+//        8     4  u32 type (MessageType)
+//       12     8  u64 request_id (client-chosen, echoed in the response)
+//       20     8  u64 body_bytes (N)
+//       28     N  body (layout depends on type, see below)
+//     28+N     4  u32 CRC-32 over bytes [0, 28+N)
+//
+// Response record ("WSRP") has the same shape with `type` replaced by
+// `status` (Status). Request bodies:
+//
+//   kPredictFeatures — u32 width, f64 features[width] (unscaled, in the
+//                      model's persisted feature order).
+//   kPredictSeries   — u64 baseline_bytes + WCSI v2 container bytes,
+//                      u64 target_bytes + WCSI v2 container bytes
+//                      (csi/trace_io serialization, checksummed again
+//                      inside).
+//   kSwapModel       — u32 path_bytes + UTF-8 wimi.model.v1 path, read
+//                      by the *server* process.
+//   kPing, kShutdown — empty body.
+//
+// Response bodies:
+//
+//   kOk to a predict  — i32 material_id, u32 name_bytes + UTF-8 name,
+//                       u32 digest_bytes + UTF-8 model digest,
+//                       f64 queue_us, f64 batch_wall_us, u32 batch_size.
+//   kOk to ping/swap  — u32 digest_bytes + digest of the (new) serving
+//                       model; remaining predict fields zeroed.
+//   anything else     — u32 message_bytes + UTF-8 reason. Rejections
+//                       are explicit protocol answers, not closed
+//                       connections: an overloaded server says so.
+//
+// Compatibility policy mirrors wimi.model.v1: v1 is frozen, any layout
+// change bumps the version, and decoders reject versions, magics, body
+// lengths, and checksums they do not like.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "csi/frame.hpp"
+
+namespace wimi::serve::wire {
+
+inline constexpr std::uint32_t kWireVersion1 = 1;
+/// Version encode_request / encode_response emit.
+inline constexpr std::uint32_t kWireCurrentVersion = kWireVersion1;
+
+/// Fixed prefix of every record before the body: magic + version +
+/// type/status + request_id + body_bytes.
+inline constexpr std::size_t kWireHeaderBytes = 28;
+/// Trailing CRC-32.
+inline constexpr std::size_t kWireTrailerBytes = 4;
+
+/// Upper bound on body_bytes a decoder will accept. A CSI series
+/// request carries two full WCSI containers, so the bound is generous;
+/// anything larger is a protocol error, not an allocation request.
+inline constexpr std::uint64_t kMaxBodyBytes = 256ull * 1024 * 1024;
+
+enum class MessageType : std::uint32_t {
+    kPredictFeatures = 1,
+    kPredictSeries = 2,
+    kSwapModel = 3,
+    kPing = 4,
+    kShutdown = 5,
+};
+
+enum class Status : std::uint32_t {
+    kOk = 0,
+    /// Admission control turned the request away (bounded queue full).
+    kOverloaded = 1,
+    /// The request decoded but is semantically unusable (wrong feature
+    /// width, unloadable swap path, unknown type).
+    kBadRequest = 2,
+    /// The server failed while processing (prediction threw).
+    kServerError = 3,
+    /// The daemon is draining; no new work is admitted.
+    kShuttingDown = 4,
+};
+
+/// Human-readable status name ("ok", "overloaded", ...).
+std::string_view status_name(Status status) noexcept;
+
+/// One decoded client request. Only the members implied by `type` are
+/// meaningful (features for kPredictFeatures, series for
+/// kPredictSeries, path for kSwapModel).
+struct Request {
+    MessageType type = MessageType::kPing;
+    std::uint64_t request_id = 0;
+    std::vector<double> features;
+    csi::CsiSeries baseline;
+    csi::CsiSeries target;
+    std::string path;
+};
+
+/// One decoded server response.
+struct Response {
+    Status status = Status::kOk;
+    std::uint64_t request_id = 0;
+    /// Predict answers. material_id is -1 for non-predict responses.
+    int material_id = -1;
+    std::string material_name;
+    /// Digest of the model that served this response (predict, ping,
+    /// swap). Within one coalesced batch every response carries the
+    /// same digest — the hot-swap "no mixed models" guarantee.
+    std::string model_digest;
+    /// Telemetry echoed to the client: time the request waited in the
+    /// admission queue and the wall time + size of the batch that
+    /// served it.
+    double queue_us = 0.0;
+    double batch_wall_us = 0.0;
+    std::uint32_t batch_size = 0;
+    /// Reason text for non-kOk statuses.
+    std::string message;
+};
+
+/// Serializes a request/response into one self-contained record.
+/// Throws wimi::Error on inconsistent input (e.g. a series request
+/// whose CsiSeries fails validation).
+std::vector<std::uint8_t> encode_request(const Request& request);
+std::vector<std::uint8_t> encode_response(const Response& response);
+
+/// Decodes one full record (header + body + CRC). Throws wimi::Error on
+/// bad magic, unknown version, length mismatch, CRC failure, or a
+/// malformed body.
+Request decode_request(std::span<const std::uint8_t> record);
+Response decode_response(std::span<const std::uint8_t> record);
+
+/// Blocking record I/O over a file descriptor. read_record returns
+/// nullopt on clean EOF at a record boundary; mid-record EOF, an
+/// oversized body_bytes, or a foreign magic throws wimi::Error.
+/// `expected_magic` is "WSRQ" (server side) or "WSRP" (client side).
+std::optional<std::vector<std::uint8_t>> read_record(
+    int fd, const char expected_magic[4]);
+void write_record(int fd, std::span<const std::uint8_t> record);
+
+}  // namespace wimi::serve::wire

@@ -1,0 +1,83 @@
+// Regression tests for WIMI_THREADS parsing (exec/parallel).
+//
+// The original parser used strtoul, which wraps "WIMI_THREADS=-1" to
+// ULONG_MAX — passing the >= 1 sanity check and asking the pool for
+// eighteen quintillion workers. The strict parser rejects any sign,
+// whitespace, or stray character, and the resolver clamps absurd (but
+// well-formed) widths to 4x the hardware before they reach the pool.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <limits>
+#include <string>
+
+#include "exec/parallel.hpp"
+
+namespace wimi::exec {
+namespace {
+
+TEST(ThreadsEnv, ParsesPlainDecimals) {
+    EXPECT_EQ(parse_thread_env("1"), 1u);
+    EXPECT_EQ(parse_thread_env("8"), 8u);
+    EXPECT_EQ(parse_thread_env("64"), 64u);
+    EXPECT_EQ(parse_thread_env("007"), 7u);
+}
+
+TEST(ThreadsEnv, RejectsEmptyAndZero) {
+    EXPECT_FALSE(parse_thread_env("").has_value());
+    EXPECT_FALSE(parse_thread_env("0").has_value());
+    EXPECT_FALSE(parse_thread_env("000").has_value());
+}
+
+TEST(ThreadsEnv, RejectsNonNumeric) {
+    EXPECT_FALSE(parse_thread_env("abc").has_value());
+    EXPECT_FALSE(parse_thread_env("4x").has_value());
+    EXPECT_FALSE(parse_thread_env("x4").has_value());
+    EXPECT_FALSE(parse_thread_env("4.0").has_value());
+    EXPECT_FALSE(parse_thread_env(" 4").has_value());
+    EXPECT_FALSE(parse_thread_env("4 ").has_value());
+}
+
+TEST(ThreadsEnv, RejectsSignsInsteadOfWrapping) {
+    // The regression: strtoul("-1") == ULONG_MAX, which sailed through
+    // the old >= 1 check. A sign must be a parse failure.
+    EXPECT_FALSE(parse_thread_env("-1").has_value());
+    EXPECT_FALSE(parse_thread_env("-8").has_value());
+    EXPECT_FALSE(parse_thread_env("+4").has_value());
+}
+
+TEST(ThreadsEnv, SaturatesInsteadOfOverflowing) {
+    constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+    // max + trailing digits would wrap under naive accumulation.
+    const std::string huge = std::to_string(kMax) + "99";
+    EXPECT_EQ(parse_thread_env(huge), kMax);
+    EXPECT_EQ(parse_thread_env(std::string(100, '9')), kMax);
+    EXPECT_EQ(parse_thread_env(std::to_string(kMax)), kMax);
+}
+
+TEST(ThreadsEnv, ResolverFallsBackOnInvalid) {
+    const std::size_t fallback = hardware_threads();
+    EXPECT_EQ(resolve_thread_count(nullptr), fallback);
+    EXPECT_EQ(resolve_thread_count(""), fallback);
+    EXPECT_EQ(resolve_thread_count("0"), fallback);
+    EXPECT_EQ(resolve_thread_count("abc"), fallback);
+    EXPECT_EQ(resolve_thread_count("-1"), fallback);
+}
+
+TEST(ThreadsEnv, ResolverClampsOversubscription) {
+    const std::size_t cap = max_thread_env();
+    EXPECT_EQ(cap, 4 * hardware_threads());
+    EXPECT_EQ(resolve_thread_count("1"), 1u);
+    const std::size_t sane = std::min<std::size_t>(cap, 2);
+    EXPECT_EQ(resolve_thread_count(std::to_string(sane).c_str()), sane);
+    // At the cap: accepted verbatim. One past: clamped.
+    EXPECT_EQ(resolve_thread_count(std::to_string(cap).c_str()), cap);
+    EXPECT_EQ(resolve_thread_count(std::to_string(cap + 1).c_str()), cap);
+    EXPECT_EQ(resolve_thread_count("18446744073709551615"), cap);
+    // The end-to-end regression shape: "-1" must resolve to something
+    // a ThreadPool can actually be built with, not ULONG_MAX.
+    EXPECT_LE(resolve_thread_count("-1"), cap);
+}
+
+}  // namespace
+}  // namespace wimi::exec

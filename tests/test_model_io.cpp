@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -172,7 +173,7 @@ TEST(ModelIo, RoundTripIsBitExact) {
     EXPECT_EQ(info.subcarrier_count, 2u);
     EXPECT_EQ(info.machine_count, 3u);
     EXPECT_GT(info.support_vector_total, 0u);
-    EXPECT_EQ(info.digest.size(), 8u);
+    EXPECT_EQ(info.digest.size(), 16u);
 }
 
 TEST(ModelIo, SaveIsDeterministic) {
@@ -191,6 +192,39 @@ TEST(ModelIo, FileRoundTripAndDigest) {
     // The standalone digest helper agrees with the loader's.
     EXPECT_EQ(model_file_digest(path), info.digest);
     std::filesystem::remove(path);
+}
+
+/// Regression: the digest used to be a whole-file CRC-32. Every record
+/// in the container ends with its own CRC-32 trailer, and CRC linearity
+/// makes that trailer cancel the record content's contribution to any
+/// whole-file CRC — so two same-shape artifacts with different content
+/// (different support vectors, honestly restamped section CRCs) hashed
+/// to the *same* "digest", defeating cache revalidation and the
+/// hot-swap identity. FNV-1a has no such cancellation.
+TEST(ModelIo, DigestDistinguishesSameShapeContent) {
+    const std::string bytes = serialize(make_test_model());
+    const std::vector<std::size_t> boundaries = section_boundaries(bytes);
+    ASSERT_GE(boundaries.size(), 2u);
+    // Flip one body byte in the first section and restamp that
+    // section's CRC: a same-length, internally consistent artifact
+    // with different content — the retrained-in-place shape.
+    std::string mutated = bytes;
+    mutated[boundaries[0] + 12] =
+        static_cast<char>(mutated[boundaries[0] + 12] ^ 0x01);
+    mutated = fix_section_crc(std::move(mutated), boundaries[0]);
+    ASSERT_NE(mutated, bytes);
+    ASSERT_EQ(mutated.size(), bytes.size());
+
+    const auto dir = std::filesystem::temp_directory_path();
+    const auto path_a = dir / "wimi_model_io_digest_a.wmdl";
+    const auto path_b = dir / "wimi_model_io_digest_b.wmdl";
+    {
+        std::ofstream(path_a, std::ios::binary) << bytes;
+        std::ofstream(path_b, std::ios::binary) << mutated;
+    }
+    EXPECT_NE(model_file_digest(path_a), model_file_digest(path_b));
+    std::filesystem::remove(path_a);
+    std::filesystem::remove(path_b);
 }
 
 TEST(ModelIo, TruncationAtEverySectionBoundaryRejected) {

@@ -1,0 +1,443 @@
+// Lifecycle tests for the wimi_serve daemon (serve/daemon).
+//
+// The service-level guarantees, each exercised against a real daemon on
+// a real Unix-domain socket with real client threads:
+//
+//   - concurrent bursts coalesce into multi-request batches;
+//   - overload is an explicit, immediate protocol answer — never a
+//     hang, never an unbounded queue;
+//   - a hot-swap mid-traffic never mixes model digests inside a batch,
+//     and each client observes a clean old->new digest transition;
+//   - stop() drains: every admitted request is answered before the
+//     daemon tears down;
+//   - malformed bytes get a bad_request answer and a hangup, and the
+//     daemon keeps serving everyone else.
+#include "serve/daemon.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "serve/client.hpp"
+#include "serve/inference.hpp"
+#include "serve/model_io.hpp"
+#include "sim/harness.hpp"
+
+namespace wimi::serve {
+namespace {
+
+/// 3 liquids x 4 repetitions: trains in well under a second, yields a
+/// real 3-machine ensemble.
+sim::ExperimentConfig tiny_config(std::uint64_t seed) {
+    sim::ExperimentConfig config;
+    config.liquids = {rf::Liquid::kPureWater, rf::Liquid::kMilk,
+                      rf::Liquid::kHoney};
+    config.repetitions = 4;
+    config.seed = seed;
+    return config;
+}
+
+/// Two persisted models with distinct digests (trained once per process)
+/// plus the feature width requests must carry.
+struct ServeFixture {
+    std::filesystem::path model_a;
+    std::filesystem::path model_b;
+    std::string digest_a;
+    std::string digest_b;
+    std::size_t feature_width = 0;
+
+    ServeFixture() {
+        const auto dir = std::filesystem::temp_directory_path();
+        model_a = dir / "wimi_serve_test_a.wmdl";
+        model_b = dir / "wimi_serve_test_b.wmdl";
+        save_model_file(model_a,
+                        sim::train_experiment_model(tiny_config(7)));
+        save_model_file(model_b,
+                        sim::train_experiment_model(tiny_config(8)));
+        digest_a = model_file_digest(model_a);
+        digest_b = model_file_digest(model_b);
+        feature_width =
+            InferenceEngine::load(model_a).model().feature_width();
+    }
+};
+
+const ServeFixture& fixture() {
+    static const ServeFixture f;
+    return f;
+}
+
+std::string test_socket(const std::string& name) {
+    return (std::filesystem::temp_directory_path() /
+            ("wimi_serve_test_" + name + ".sock"))
+        .string();
+}
+
+DaemonOptions base_options(const std::string& socket_name) {
+    DaemonOptions options;
+    options.socket_path = test_socket(socket_name);
+    options.model_path = fixture().model_a.string();
+    return options;
+}
+
+std::vector<double> valid_features() {
+    return std::vector<double>(fixture().feature_width, 0.25);
+}
+
+TEST(ServeDaemon, DistinctFixtureDigests) {
+    // The hot-swap assertions below are vacuous if both artifacts hash
+    // the same; pin the precondition.
+    EXPECT_NE(fixture().digest_a, fixture().digest_b);
+    EXPECT_FALSE(fixture().digest_a.empty());
+}
+
+TEST(ServeDaemon, LifecyclePingStop) {
+    Daemon daemon(base_options("lifecycle"));
+    EXPECT_FALSE(daemon.running());
+    daemon.start();
+    EXPECT_TRUE(daemon.running());
+    EXPECT_EQ(daemon.model_digest(), fixture().digest_a);
+
+    ServeClient client(daemon.socket_path());
+    const ClientResult pong = client.ping();
+    ASSERT_TRUE(pong.ok()) << pong.message;
+    EXPECT_EQ(pong.model_digest, fixture().digest_a);
+
+    daemon.stop();
+    EXPECT_FALSE(daemon.running());
+    EXPECT_FALSE(std::filesystem::exists(daemon.socket_path()));
+    const DaemonStats stats = daemon.stats();
+    EXPECT_GE(stats.connections, 1u);
+    EXPECT_GE(stats.requests, 1u);
+    // stop() is idempotent.
+    daemon.stop();
+}
+
+TEST(ServeDaemon, RejectsUnusableConfiguration) {
+    DaemonOptions no_socket = base_options("cfg");
+    no_socket.socket_path.clear();
+    EXPECT_THROW(Daemon{no_socket}, Error);
+
+    DaemonOptions long_socket = base_options("cfg");
+    long_socket.socket_path = "/tmp/" + std::string(200, 'x');
+    EXPECT_THROW(Daemon{long_socket}, Error);
+
+    DaemonOptions bad_model = base_options("cfg");
+    bad_model.model_path = "/nonexistent/model.wmdl";
+    EXPECT_THROW(Daemon{bad_model}, Error);
+}
+
+TEST(ServeDaemon, CoalescesConcurrentBurst) {
+    DaemonOptions options = base_options("coalesce");
+    options.max_batch = 16;
+    options.max_queue = 64;
+    // Stall each batch long enough that the rest of the burst piles up
+    // behind it, forcing a multi-request batch deterministically.
+    options.batch_stall = std::chrono::milliseconds(20);
+    Daemon daemon(options);
+    daemon.start();
+
+    constexpr std::size_t kClients = 8;
+    constexpr std::size_t kPerClient = 2;
+    std::vector<ClientResult> results(kClients * kPerClient);
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            ServeClient client(daemon.socket_path());
+            const std::vector<double> features = valid_features();
+            for (std::size_t r = 0; r < kPerClient; ++r) {
+                results[c * kPerClient + r] =
+                    client.predict_features(features);
+            }
+        });
+    }
+    for (std::thread& thread : clients) {
+        thread.join();
+    }
+    daemon.stop();
+
+    std::uint32_t largest_batch_echoed = 0;
+    for (const ClientResult& result : results) {
+        ASSERT_TRUE(result.ok()) << result.message;
+        EXPECT_EQ(result.model_digest, fixture().digest_a);
+        largest_batch_echoed =
+            std::max(largest_batch_echoed, result.batch_size);
+    }
+    const DaemonStats stats = daemon.stats();
+    EXPECT_EQ(stats.responses_ok, kClients * kPerClient);
+    EXPECT_GT(stats.max_batch_size, 1u)
+        << "burst was served one-by-one; coalescing is broken";
+    EXPECT_GT(largest_batch_echoed, 1u);
+    // Coalescing means strictly fewer engine calls than requests.
+    EXPECT_LT(stats.batches, stats.requests);
+}
+
+TEST(ServeDaemon, OverloadIsExplicitRejectionNotHang) {
+    DaemonOptions options = base_options("overload");
+    options.max_queue = 1;
+    options.max_batch = 1;
+    options.batch_stall = std::chrono::milliseconds(50);
+    Daemon daemon(options);
+    daemon.start();
+
+    constexpr std::size_t kClients = 8;
+    std::vector<ClientResult> results(kClients);
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            ServeClient client(daemon.socket_path());
+            results[c] = client.predict_features(valid_features());
+        });
+    }
+    // Every thread joins: an overloaded daemon answers, it never hangs.
+    for (std::thread& thread : clients) {
+        thread.join();
+    }
+    daemon.stop();
+
+    std::size_t ok = 0;
+    std::size_t overloaded = 0;
+    for (const ClientResult& result : results) {
+        if (result.ok()) {
+            ++ok;
+        } else {
+            ASSERT_EQ(result.status, wire::Status::kOverloaded)
+                << result.message;
+            EXPECT_FALSE(result.message.empty());
+            ++overloaded;
+        }
+    }
+    EXPECT_EQ(ok + overloaded, kClients);
+    // One request stalls in the batcher, one waits in the queue of 1 —
+    // the rest of the simultaneous burst must have been shed.
+    EXPECT_GE(overloaded, 1u);
+    EXPECT_GE(ok, 1u);
+    EXPECT_EQ(daemon.stats().rejected_overload, overloaded);
+}
+
+TEST(ServeDaemon, HotSwapNeverMixesDigests) {
+    DaemonOptions options = base_options("hotswap");
+    options.max_batch = 4;
+    options.max_queue = 64;
+    options.batch_stall = std::chrono::milliseconds(2);
+    Daemon daemon(options);
+    daemon.start();
+
+    constexpr std::size_t kClients = 6;
+    constexpr std::size_t kPerClient = 8;
+    std::vector<std::vector<ClientResult>> per_client(kClients);
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            ServeClient client(daemon.socket_path());
+            const std::vector<double> features = valid_features();
+            for (std::size_t r = 0; r < kPerClient; ++r) {
+                per_client[c].push_back(
+                    client.predict_features(features));
+            }
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    std::string swap_error;
+    ASSERT_TRUE(daemon.swap_model(fixture().model_b, &swap_error))
+        << swap_error;
+    for (std::thread& thread : clients) {
+        thread.join();
+    }
+
+    ServeClient prober(daemon.socket_path());
+    const ClientResult after = prober.ping();
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(after.model_digest, fixture().digest_b);
+    daemon.stop();
+
+    for (std::size_t c = 0; c < kClients; ++c) {
+        bool seen_new = false;
+        for (const ClientResult& result : per_client[c]) {
+            ASSERT_TRUE(result.ok()) << result.message;
+            // Every response names exactly one of the two artifacts.
+            ASSERT_TRUE(result.model_digest == fixture().digest_a ||
+                        result.model_digest == fixture().digest_b)
+                << result.model_digest;
+            // Batches are processed in admission order by one batcher
+            // and a client's requests are sequential, so each client
+            // sees a monotone old->new transition — digest A after
+            // digest B would mean a batch ran on a stale engine.
+            if (result.model_digest == fixture().digest_b) {
+                seen_new = true;
+            } else {
+                EXPECT_FALSE(seen_new)
+                    << "client " << c << " saw digest A after digest B";
+            }
+        }
+    }
+    EXPECT_EQ(daemon.stats().swaps, 1u);
+}
+
+TEST(ServeDaemon, SwapFailureKeepsOldModelServing) {
+    Daemon daemon(base_options("swapfail"));
+    daemon.start();
+    std::string error;
+    EXPECT_FALSE(daemon.swap_model("/nonexistent/model.wmdl", &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_EQ(daemon.model_digest(), fixture().digest_a);
+
+    ServeClient client(daemon.socket_path());
+    const ClientResult swap = client.swap_model("/also/missing.wmdl");
+    EXPECT_EQ(swap.status, wire::Status::kBadRequest);
+    const ClientResult pong = client.ping();
+    ASSERT_TRUE(pong.ok());
+    EXPECT_EQ(pong.model_digest, fixture().digest_a);
+    daemon.stop();
+    EXPECT_EQ(daemon.stats().swaps, 0u);
+}
+
+TEST(ServeDaemon, StopDrainsAdmittedRequests) {
+    DaemonOptions options = base_options("drain");
+    options.max_batch = 1;  // serialize: the queue stays occupied
+    options.batch_stall = std::chrono::milliseconds(30);
+    Daemon daemon(options);
+    daemon.start();
+
+    constexpr std::size_t kClients = 4;
+    std::vector<ClientResult> results(kClients);
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            ServeClient client(daemon.socket_path());
+            results[c] = client.predict_features(valid_features());
+        });
+    }
+    // Let every request get admitted, then stop while most of them are
+    // still waiting in the queue (4 x 30ms of batch stall remain).
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    daemon.stop();
+    for (std::thread& thread : clients) {
+        thread.join();
+    }
+
+    for (const ClientResult& result : results) {
+        ASSERT_TRUE(result.ok())
+            << "admitted request was dropped on shutdown: "
+            << result.message;
+    }
+    EXPECT_EQ(daemon.stats().responses_ok, kClients);
+}
+
+TEST(ServeDaemon, ShutdownRequestHonoredAndRefusable) {
+    {
+        Daemon daemon(base_options("shutdown"));
+        daemon.start();
+        ServeClient client(daemon.socket_path());
+        EXPECT_FALSE(daemon.shutdown_requested());
+        const ClientResult result = client.request_shutdown();
+        ASSERT_TRUE(result.ok());
+        EXPECT_TRUE(daemon.shutdown_requested());
+        daemon.wait_for_shutdown_request();  // already satisfied
+        daemon.stop();
+    }
+    {
+        DaemonOptions options = base_options("noshutdown");
+        options.allow_shutdown = false;
+        options.allow_swap = false;
+        Daemon daemon(options);
+        daemon.start();
+        ServeClient client(daemon.socket_path());
+        EXPECT_EQ(client.request_shutdown().status,
+                  wire::Status::kBadRequest);
+        EXPECT_FALSE(daemon.shutdown_requested());
+        EXPECT_EQ(client.swap_model(fixture().model_b.string()).status,
+                  wire::Status::kBadRequest);
+        EXPECT_EQ(daemon.model_digest(), fixture().digest_a);
+        daemon.stop();
+    }
+}
+
+TEST(ServeDaemon, BadFeatureWidthRejectedPerRequest) {
+    Daemon daemon(base_options("badwidth"));
+    daemon.start();
+    ServeClient client(daemon.socket_path());
+    const std::vector<double> narrow(fixture().feature_width - 1, 0.0);
+    const ClientResult bad = client.predict_features(narrow);
+    EXPECT_EQ(bad.status, wire::Status::kBadRequest);
+    EXPECT_FALSE(bad.message.empty());
+    // The same connection keeps working: the failure was the request's.
+    const ClientResult good = client.predict_features(valid_features());
+    ASSERT_TRUE(good.ok()) << good.message;
+    daemon.stop();
+    EXPECT_GE(daemon.stats().rejected_bad_request, 1u);
+}
+
+TEST(ServeDaemon, CorruptRecordAnsweredThenHangup) {
+    Daemon daemon(base_options("corrupt"));
+    daemon.start();
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, daemon.socket_path().c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+
+    wire::Request ping;
+    ping.type = wire::MessageType::kPing;
+    ping.request_id = 77;
+    std::vector<std::uint8_t> record = wire::encode_request(ping);
+    record.back() ^= 0xff;  // break the CRC
+    wire::write_record(fd, record);
+
+    const auto answer = wire::read_record(fd, "WSRP");
+    ASSERT_TRUE(answer.has_value());
+    const wire::Response response = wire::decode_response(*answer);
+    EXPECT_EQ(response.status, wire::Status::kBadRequest);
+    EXPECT_EQ(response.request_id, 77u);  // echoed from the raw header
+    // Framing is untrustworthy now; the daemon hangs up on us...
+    EXPECT_FALSE(wire::read_record(fd, "WSRP").has_value());
+    ::close(fd);
+
+    // ...but keeps serving everyone else.
+    ServeClient client(daemon.socket_path());
+    EXPECT_TRUE(client.ping().ok());
+    daemon.stop();
+    EXPECT_GE(daemon.stats().rejected_bad_request, 1u);
+}
+
+TEST(ServeDaemon, PredictSeriesOverTheSocket) {
+    Daemon daemon(base_options("series"));
+    daemon.start();
+    const sim::ExperimentConfig config = tiny_config(7);
+    const sim::Scenario scenario(config.scenario);
+    const sim::MeasurementPair measurement =
+        scenario.capture_measurement(rf::Liquid::kMilk, 5);
+
+    ServeClient client(daemon.socket_path());
+    const ClientResult result = client.predict_series(
+        measurement.baseline, measurement.target);
+    ASSERT_TRUE(result.ok()) << result.message;
+    EXPECT_GE(result.material_id, 0);
+    EXPECT_FALSE(result.material_name.empty());
+    EXPECT_EQ(result.model_digest, fixture().digest_a);
+
+    // The answer matches an in-process engine over the same artifact —
+    // the socket adds transport, not drift.
+    const InferenceEngine local = InferenceEngine::load(fixture().model_a);
+    const Prediction expected =
+        local.predict(measurement.baseline, measurement.target);
+    EXPECT_EQ(result.material_id, expected.material_id);
+    EXPECT_EQ(result.material_name, expected.material_name);
+    daemon.stop();
+}
+
+}  // namespace
+}  // namespace wimi::serve
