@@ -16,12 +16,20 @@
 //   3. overload  — a deliberately tiny admission queue under a stalled
 //                  batcher; checks shed load is an explicit kOverloaded
 //                  answer for every client, never a hang or a dropped
-//                  connection.
+//                  connection — and that the shed requests landed in
+//                  the flight recorder with kOverloaded outcomes.
+//   4. obs A/B   — the same burst shape against a daemon with the
+//                  request-scoped observability plane off (obs
+//                  disabled, flight ring capacity 0, untraced clients)
+//                  and on (defaults, every client request under a
+//                  trace span); reports the p50 delta as
+//                  obs_overhead_percent (gated <= 5% absolute) plus
+//                  trace-echo and tail-sampler validity booleans.
 //
 // Results land in BENCH_serve.json. The machine-independent subset
-// (workload shape + the validity booleans) is gated in CI against
-// bench/baselines/serve_perf.json via wimi_regress; every timing is
-// machine-dependent and ignored by the rules.
+// (workload shape + the validity booleans + the A/B overhead bound) is
+// gated in CI against bench/baselines/serve_perf.json via wimi_regress;
+// every raw timing is machine-dependent and ignored by the rules.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -86,6 +94,7 @@ struct BurstResult {
     std::size_t overloaded = 0;
     std::size_t other = 0;        ///< any status that is not ok/overloaded
     std::size_t transport_errors = 0;
+    std::size_t trace_echoed = 0;  ///< ok answers carrying a trace id
     double wall_s = 0.0;
     std::vector<double> latencies_us;
     /// Digest sequence per client, in request order (ok answers only).
@@ -93,10 +102,19 @@ struct BurstResult {
 };
 
 /// `clients` threads, each its own connection, each sending `per_client`
-/// feature-vector predicts back-to-back.
+/// feature-vector predicts back-to-back. With `traced`, every request
+/// runs under a fresh client-side ObsContext so the trace context rides
+/// the wire (the phase-4 "observability on" traffic shape). The context
+/// is installed directly rather than via WIMI_TRACE_SPAN: an
+/// instrumented client pays for its own spans with or without wire
+/// propagation, so a span here would bill baseline-plane cost to the
+/// propagation delta — and would also compile out under
+/// WIMI_ENABLE_OBS=OFF, where propagation still works and is still
+/// worth measuring.
 BurstResult run_burst(const std::string& socket_path, std::size_t clients,
                       std::size_t per_client,
-                      const std::vector<double>& features) {
+                      const std::vector<double>& features,
+                      bool traced = false) {
     BurstResult result;
     result.requests = clients * per_client;
     result.digests.resize(clients);
@@ -105,6 +123,7 @@ BurstResult run_burst(const std::string& socket_path, std::size_t clients,
     std::vector<std::size_t> overloaded(clients, 0);
     std::vector<std::size_t> other(clients, 0);
     std::vector<std::size_t> errors(clients, 0);
+    std::vector<std::size_t> echoed(clients, 0);
 
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<std::thread> threads;
@@ -114,12 +133,23 @@ BurstResult run_burst(const std::string& socket_path, std::size_t clients,
                 serve::ServeClient client(socket_path);
                 for (std::size_t r = 0; r < per_client; ++r) {
                     const auto sent = std::chrono::steady_clock::now();
-                    const serve::ClientResult answer =
-                        client.predict_features(features);
+                    serve::ClientResult answer;
+                    if (traced) {
+                        obs::ObsContext ctx;
+                        ctx.trace_id = obs::next_trace_id();
+                        ctx.span_id = obs::next_span_id();
+                        const obs::ScopedObsContext scope(ctx);
+                        answer = client.predict_features(features);
+                    } else {
+                        answer = client.predict_features(features);
+                    }
                     latencies[c].push_back(seconds_since(sent) * 1e6);
                     if (answer.ok()) {
                         ++ok[c];
                         result.digests[c].push_back(answer.model_digest);
+                        if (answer.trace_id != 0) {
+                            ++echoed[c];
+                        }
                     } else if (answer.status ==
                                serve::wire::Status::kOverloaded) {
                         ++overloaded[c];
@@ -141,6 +171,7 @@ BurstResult run_burst(const std::string& socket_path, std::size_t clients,
         result.overloaded += overloaded[c];
         result.other += other[c];
         result.transport_errors += errors[c];
+        result.trace_echoed += echoed[c];
         result.latencies_us.insert(result.latencies_us.end(),
                                    latencies[c].begin(),
                                    latencies[c].end());
@@ -262,15 +293,118 @@ int main() {
     const bool overload_explicit =
         flood.overloaded > 0 &&
         flood_stats.rejected_overload == flood.overloaded;
+    // Every shed request must be in the black box with its explicit
+    // outcome — the flight recorder exists for exactly this moment.
+    std::size_t flight_overloaded = 0;
+    for (const obs::FlightRecord& record :
+         small_daemon.flight_recorder().snapshot()) {
+        if (record.sample.outcome == obs::FlightOutcome::kOverloaded) {
+            ++flight_overloaded;
+        }
+    }
+    const bool flight_captured_overload =
+        flight_overloaded == flood.overloaded;
     std::cout << "overload: " << flood.requests << " requests into a "
               << tiny.max_queue << "-deep queue: " << flood.ok
               << " served, " << flood.overloaded
-              << " explicitly rejected\n";
+              << " explicitly rejected, " << flight_overloaded
+              << " in the flight ring\n";
+
+    // ---- Phase 4: observability A/B ----------------------------------
+    // Identical burst shape against two daemons, isolating what the
+    // request-scoped layer adds on top of the baseline telemetry plane
+    // (spans + metrics + logging stay on in BOTH arms): off = flight
+    // ring disabled and untraced clients (v1 wire records), on = flight
+    // ring at its default capacity and every client request under a
+    // trace span (v2 records, daemon-side context adoption, tail-gated
+    // retention). The arm uses a single serial client and no batch
+    // stall: concurrent clients put batch-formation and scheduler
+    // jitter (tens of µs) on top of a per-request cost measured in
+    // hundreds of ns, which no number of samples averages away. The
+    // arms still alternate over several rounds (cancelling machine-load
+    // drift) and each arm is scored by its best round — the noise-floor
+    // estimator for latency microbenchmarks.
+    constexpr std::size_t kObsClients = 1;
+    constexpr std::size_t kObsPerClient = 400;
+    constexpr std::size_t kObsRounds = 7;
+    const auto ab_daemon_options = [&](const char* name,
+                                       std::size_t flight_capacity) {
+        serve::DaemonOptions ab;
+        ab.socket_path = bench_socket(name);
+        ab.model_path = kModelAPath;
+        ab.max_queue = 256;
+        ab.max_batch = 32;
+        ab.flight.capacity = flight_capacity;
+        return ab;
+    };
+
+    serve::Daemon off_daemon(ab_daemon_options("obs_off", 0));
+    serve::Daemon on_daemon(ab_daemon_options("obs_on", 4096));
+    off_daemon.start();
+    on_daemon.start();
+    BurstResult off_burst;
+    BurstResult on_burst;
+    const auto accumulate = [](BurstResult& total, const BurstResult& round) {
+        total.requests += round.requests;
+        total.ok += round.ok;
+        total.transport_errors += round.transport_errors;
+        total.trace_echoed += round.trace_echoed;
+    };
+    std::vector<double> p50_off_rounds;
+    std::vector<double> p50_on_rounds;
+    for (std::size_t round = 0; round < kObsRounds; ++round) {
+        const BurstResult off_round = run_burst(
+            off_daemon.socket_path(), kObsClients, kObsPerClient, features);
+        const BurstResult on_round =
+            run_burst(on_daemon.socket_path(), kObsClients, kObsPerClient,
+                      features, /*traced=*/true);
+        accumulate(off_burst, off_round);
+        accumulate(on_burst, on_round);
+        p50_off_rounds.push_back(percentile(off_round.latencies_us, 0.50));
+        p50_on_rounds.push_back(percentile(on_round.latencies_us, 0.50));
+    }
+    const serve::DaemonStats on_stats = on_daemon.stats();
+    off_daemon.stop();
+    on_daemon.stop();
+
+    const double p50_off =
+        *std::min_element(p50_off_rounds.begin(), p50_off_rounds.end());
+    const double p50_on =
+        *std::min_element(p50_on_rounds.begin(), p50_on_rounds.end());
+    const double obs_overhead_percent =
+        p50_off > 0.0 ? (p50_on - p50_off) / p50_off * 100.0 : 0.0;
+    const bool ab_all_ok = off_burst.ok == off_burst.requests &&
+                           on_burst.ok == on_burst.requests &&
+                           off_burst.transport_errors == 0 &&
+                           on_burst.transport_errors == 0;
+    // Holds under WIMI_ENABLE_OBS=OFF too: context propagation is part
+    // of the wire contract, not the (compiled-out) span machinery.
+    const bool trace_echoed = on_burst.trace_echoed == on_burst.ok &&
+                              off_burst.trace_echoed == 0;
+    // Sampler validity: every admitted request got a retain/drop
+    // decision, and once warm the sampler is selective (some of this
+    // all-successful traffic was dropped from full retention).
+    const bool sampler_counts_consistent =
+        on_stats.sampler_retained + on_stats.sampler_dropped ==
+        on_stats.admitted;
+    const bool sampler_tail_selective =
+        on_stats.sampler_dropped > 0 &&
+        on_stats.sampler_retained > 0;
+    const bool flight_recorded_all =
+        on_stats.flight_records == on_stats.admitted;
+    std::cout << "obs A/B:  p50 off " << p50_off << " us, on " << p50_on
+              << " us (" << obs_overhead_percent << "% overhead)\n"
+              << "          trace echoed: " << (trace_echoed ? "yes" : "NO")
+              << ", sampler retained " << on_stats.sampler_retained
+              << " / dropped " << on_stats.sampler_dropped << '\n';
 
     const bool all_valid = burst_all_ok && coalesced &&
                            swap_zero_failed && swap_zero_mixed &&
                            swap_final_is_b && overload_all_answered &&
-                           overload_explicit;
+                           overload_explicit && flight_captured_overload &&
+                           ab_all_ok && trace_echoed &&
+                           sampler_counts_consistent &&
+                           sampler_tail_selective && flight_recorded_all;
     std::cout << "\nvalid:    " << (all_valid ? "yes" : "NO") << '\n';
 
     run.context.note("throughput_per_s", throughput);
@@ -308,7 +442,20 @@ int main() {
         "\"served\":%zu,"
         "\"rejected\":%zu,"
         "\"all_answered\":%s,"
-        "\"explicit_rejections\":%s}}}\n",
+        "\"explicit_rejections\":%s,"
+        "\"flight_captured_overload\":%s},"
+        "\"obs\":{"
+        "\"requests\":%zu,"
+        "\"all_answered\":%s,"
+        "\"p50_off_us\":%.3f,"
+        "\"p50_on_us\":%.3f,"
+        "\"obs_overhead_percent\":%.3f,"
+        "\"trace_echoed\":%s,"
+        "\"sampler_retained\":%llu,"
+        "\"sampler_dropped\":%llu,"
+        "\"sampler_counts_consistent\":%s,"
+        "\"sampler_tail_selective\":%s,"
+        "\"flight_recorded_all\":%s}}}\n",
         exec::hardware_threads(), kClients, burst.requests,
         burst_all_ok ? "true" : "false", burst.transport_errors,
         coalesced ? "true" : "false",
@@ -319,7 +466,15 @@ int main() {
         swap_zero_mixed ? "true" : "false",
         swap_final_is_b ? "true" : "false", flood.requests, flood.ok,
         flood.overloaded, overload_all_answered ? "true" : "false",
-        overload_explicit ? "true" : "false");
+        overload_explicit ? "true" : "false",
+        flight_captured_overload ? "true" : "false",
+        on_burst.requests, ab_all_ok ? "true" : "false", p50_off, p50_on,
+        obs_overhead_percent, trace_echoed ? "true" : "false",
+        static_cast<unsigned long long>(on_stats.sampler_retained),
+        static_cast<unsigned long long>(on_stats.sampler_dropped),
+        sampler_counts_consistent ? "true" : "false",
+        sampler_tail_selective ? "true" : "false",
+        flight_recorded_all ? "true" : "false");
     std::fclose(out);
     std::cout << "report:   " << kReportPath << '\n';
 

@@ -11,7 +11,11 @@
 // tasks resolve to their logical parent on the submitting thread and log
 // lines emitted from workers carry the originating trace id.
 //
-// Ids are process-unique 64-bit counters; 0 means "none".
+// Ids are 64-bit counters seeded from a per-process random base, so
+// traces merged across processes (e.g. the serve client and daemon,
+// stitched by wire-level trace propagation) do not collide. Ids stay
+// below 2^53 until 2^28 allocations, so a JSON double represents them
+// exactly. 0 means "none".
 #pragma once
 
 #include <cstdint>

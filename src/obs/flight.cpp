@@ -1,0 +1,182 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace wimi::obs {
+
+std::string_view flight_outcome_name(FlightOutcome outcome) noexcept {
+    switch (outcome) {
+        case FlightOutcome::kOk:
+            return "ok";
+        case FlightOutcome::kOverloaded:
+            return "overloaded";
+        case FlightOutcome::kBadRequest:
+            return "bad_request";
+        case FlightOutcome::kServerError:
+            return "server_error";
+        case FlightOutcome::kShuttingDown:
+            return "shutting_down";
+    }
+    return "unknown";
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options)
+    : options_(std::move(options)),
+      slots_(options_.capacity),
+      digests_(1, std::string()) {}
+
+std::uint32_t FlightRecorder::intern_digest(const std::string& digest) {
+    if (!enabled() || digest.empty()) {
+        return 0;
+    }
+    std::lock_guard<std::mutex> lock(digest_mutex_);
+    for (std::size_t i = 0; i < digests_.size(); ++i) {
+        if (digests_[i] == digest) {
+            return static_cast<std::uint32_t>(i);
+        }
+    }
+    digests_.push_back(digest);
+    return static_cast<std::uint32_t>(digests_.size() - 1);
+}
+
+void FlightRecorder::append(const FlightSample& sample) noexcept {
+    if (!enabled()) {
+        return;
+    }
+    const std::uint64_t seq =
+        next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    Slot& slot = slots_[static_cast<std::size_t>((seq - 1) % slots_.size())];
+    // Seqlock-with-atomics: invalidate, write fields, publish. A reader
+    // that observes different (or zero) sequence values around its
+    // field reads drops the slot instead of returning a torn record.
+    slot.seq.store(0, std::memory_order_release);
+    slot.trace_id.store(sample.trace_id, std::memory_order_relaxed);
+    slot.request_id.store(sample.request_id, std::memory_order_relaxed);
+    slot.arrival_ts_us.store(sample.arrival_ts_us,
+                             std::memory_order_relaxed);
+    slot.queue_us.store(sample.queue_us, std::memory_order_relaxed);
+    slot.e2e_us.store(sample.e2e_us, std::memory_order_relaxed);
+    slot.batch_size.store(sample.batch_size, std::memory_order_relaxed);
+    slot.outcome.store(static_cast<std::uint32_t>(sample.outcome),
+                       std::memory_order_relaxed);
+    slot.digest_index.store(sample.digest_index, std::memory_order_relaxed);
+    slot.sampled.store(sample.sampled, std::memory_order_relaxed);
+    slot.seq.store(seq, std::memory_order_release);
+    if (sample.outcome != FlightOutcome::kOk) {
+        maybe_auto_snapshot();
+    }
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot() const {
+    std::vector<FlightRecord> out;
+    if (!enabled()) {
+        return out;
+    }
+    std::vector<std::string> digests;
+    {
+        std::lock_guard<std::mutex> lock(digest_mutex_);
+        digests = digests_;
+    }
+    out.reserve(slots_.size());
+    for (const Slot& slot : slots_) {
+        const std::uint64_t seq_before =
+            slot.seq.load(std::memory_order_acquire);
+        if (seq_before == 0) {
+            continue;  // never written, or an append is mid-flight
+        }
+        FlightRecord record;
+        record.seq = seq_before;
+        record.sample.trace_id =
+            slot.trace_id.load(std::memory_order_relaxed);
+        record.sample.request_id =
+            slot.request_id.load(std::memory_order_relaxed);
+        record.sample.arrival_ts_us =
+            slot.arrival_ts_us.load(std::memory_order_relaxed);
+        record.sample.queue_us = slot.queue_us.load(std::memory_order_relaxed);
+        record.sample.e2e_us = slot.e2e_us.load(std::memory_order_relaxed);
+        record.sample.batch_size =
+            slot.batch_size.load(std::memory_order_relaxed);
+        record.sample.outcome = static_cast<FlightOutcome>(
+            slot.outcome.load(std::memory_order_relaxed));
+        record.sample.digest_index =
+            slot.digest_index.load(std::memory_order_relaxed);
+        record.sample.sampled = slot.sampled.load(std::memory_order_relaxed);
+        if (slot.seq.load(std::memory_order_acquire) != seq_before) {
+            continue;  // overwritten while we were reading: torn, drop
+        }
+        if (record.sample.digest_index < digests.size()) {
+            record.model_digest = digests[record.sample.digest_index];
+        }
+        out.push_back(std::move(record));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FlightRecord& a, const FlightRecord& b) {
+                  return a.seq < b.seq;
+              });
+    return out;
+}
+
+std::string FlightRecorder::dump_json() const {
+    std::string out;
+    for (const FlightRecord& record : snapshot()) {
+        const FlightSample& s = record.sample;
+        out += "{\"schema\":\"wimi.flight.v1\"";
+        out += ",\"seq\":" + std::to_string(record.seq);
+        out += ",\"trace\":" + std::to_string(s.trace_id);
+        out += ",\"request\":" + std::to_string(s.request_id);
+        out += ",\"arrival_ts_us\":" + json::number(s.arrival_ts_us);
+        out += ",\"queue_us\":" + json::number(s.queue_us);
+        out += ",\"e2e_us\":" + json::number(s.e2e_us);
+        out += ",\"batch_size\":" + std::to_string(s.batch_size);
+        out += ",\"outcome\":\"";
+        out += flight_outcome_name(s.outcome);
+        out += "\",\"sampled\":";
+        out += s.sampled ? "true" : "false";
+        out += ",\"digest\":\"" + json::escape(record.model_digest) + "\"}\n";
+    }
+    return out;
+}
+
+void FlightRecorder::dump_to_file(const std::string& path) const {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ensure(out.is_open(), "flight: cannot open dump path: " + path);
+    const std::string dump = dump_json();
+    out.write(dump.data(), static_cast<std::streamsize>(dump.size()));
+    out.flush();
+    ensure(out.good(), "flight: dump write failed: " + path);
+}
+
+void FlightRecorder::maybe_auto_snapshot() noexcept {
+    if (options_.snapshot_path.empty() || options_.burst_threshold == 0) {
+        return;
+    }
+    const std::uint64_t burst =
+        non_ok_since_snapshot_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (burst < options_.burst_threshold) {
+        return;
+    }
+    // Only one thread snapshots at a time; the others keep serving.
+    if (!snapshot_mutex_.try_lock()) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(snapshot_mutex_, std::adopt_lock);
+    const double now_us = trace_now_us();
+    if (now_us - last_snapshot_us_ < options_.snapshot_min_interval_us) {
+        return;
+    }
+    try {
+        dump_to_file(options_.snapshot_path);
+        last_snapshot_us_ = now_us;
+        non_ok_since_snapshot_.store(0, std::memory_order_relaxed);
+        auto_snapshots_.fetch_add(1, std::memory_order_relaxed);
+    } catch (...) {
+        // The black box must never take the serving path down with it.
+    }
+}
+
+}  // namespace wimi::obs

@@ -1,0 +1,125 @@
+#include "obs/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace wimi::obs {
+namespace {
+
+double clamp_quantile(double q) {
+    if (!(q > 0.0) || !(q < 1.0)) {
+        return 0.95;
+    }
+    return q;
+}
+
+}  // namespace
+
+TailSampler::TailSampler(TailSamplerOptions options) : options_(options) {
+    options_.quantile = clamp_quantile(options_.quantile);
+    const double p = options_.quantile;
+    dn_[0] = 0.0;
+    dn_[1] = p / 2.0;
+    dn_[2] = p;
+    dn_[3] = (1.0 + p) / 2.0;
+    dn_[4] = 1.0;
+}
+
+double TailSampler::update_estimate(double value) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    if (count_ < 5) {
+        q_[count_] = value;
+        ++count_;
+        if (count_ < 5) {
+            return nan;
+        }
+        std::sort(q_, q_ + 5);
+        for (int i = 0; i < 5; ++i) {
+            n_[i] = static_cast<double>(i + 1);
+            np_[i] = 1.0 + 4.0 * dn_[i];
+        }
+        return q_[2];
+    }
+
+    // Locate the cell containing `value`, stretching the extremes.
+    int k;
+    if (value < q_[0]) {
+        q_[0] = value;
+        k = 0;
+    } else if (value < q_[1]) {
+        k = 0;
+    } else if (value < q_[2]) {
+        k = 1;
+    } else if (value < q_[3]) {
+        k = 2;
+    } else if (value <= q_[4]) {
+        k = 3;
+    } else {
+        q_[4] = value;
+        k = 3;
+    }
+    for (int i = k + 1; i < 5; ++i) {
+        n_[i] += 1.0;
+    }
+    for (int i = 0; i < 5; ++i) {
+        np_[i] += dn_[i];
+    }
+
+    // Nudge the three interior markers toward their desired positions,
+    // parabolic (P²) when the neighbor spacing allows, linear otherwise.
+    for (int i = 1; i <= 3; ++i) {
+        const double d = np_[i] - n_[i];
+        if ((d >= 1.0 && n_[i + 1] - n_[i] > 1.0) ||
+            (d <= -1.0 && n_[i - 1] - n_[i] < -1.0)) {
+            const double sign = d >= 0.0 ? 1.0 : -1.0;
+            const double qp =
+                q_[i] +
+                sign / (n_[i + 1] - n_[i - 1]) *
+                    ((n_[i] - n_[i - 1] + sign) * (q_[i + 1] - q_[i]) /
+                         (n_[i + 1] - n_[i]) +
+                     (n_[i + 1] - n_[i] - sign) * (q_[i] - q_[i - 1]) /
+                         (n_[i] - n_[i - 1]));
+            if (q_[i - 1] < qp && qp < q_[i + 1]) {
+                q_[i] = qp;
+            } else {
+                const int j = d >= 0.0 ? i + 1 : i - 1;
+                q_[i] = q_[i] + sign * (q_[j] - q_[i]) /
+                                    (n_[j] - n_[i]);
+            }
+            n_[i] += sign;
+        }
+    }
+    ++count_;
+    return q_[2];
+}
+
+bool TailSampler::observe(double latency_us, bool failed) {
+    const std::uint64_t seen =
+        observed_.fetch_add(1, std::memory_order_relaxed) + 1;
+    bool keep;
+    if (failed) {
+        // Failures are always evidence; they never train the estimator.
+        keep = true;
+    } else {
+        double estimate;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            estimate = update_estimate(latency_us);
+        }
+        keep = seen <= options_.warmup || std::isnan(estimate) ||
+               latency_us >= estimate;
+    }
+    (keep ? retained_ : dropped_).fetch_add(1, std::memory_order_relaxed);
+    return keep;
+}
+
+double TailSampler::threshold() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ < 5) {
+        return std::numeric_limits<double>::quiet_NaN();
+    }
+    return q_[2];
+}
+
+}  // namespace wimi::obs

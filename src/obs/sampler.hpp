@@ -1,0 +1,83 @@
+// Tail sampling: bound telemetry volume at high QPS without losing the
+// requests worth looking at.
+//
+// Always-on counters and histograms stay cheap (they aggregate), but
+// per-request artifacts — span retention, request-scoped log lines,
+// flight-record "sampled" flags — multiply with traffic. The policy
+// here keeps full telemetry only for (a) failed requests and (b) the
+// latency tail, where the threshold is a streaming estimate of a
+// configurable quantile (default p95) maintained with the P² algorithm
+// (Jain & Chlamtac 1985): five markers, O(1) per observation, no stored
+// sample buffer.
+//
+// Failed requests are always retained but never fed to the estimator:
+// a shed request is answered in microseconds and would drag a latency
+// quantile toward zero. During warmup (and until the estimator has its
+// first five successful observations) everything is retained, so a
+// cold daemon never hides its first incident.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace wimi::obs {
+
+struct TailSamplerOptions {
+    /// Latency quantile that defines "the tail"; observations at or
+    /// above the running estimate are retained. Clamped to (0, 1).
+    double quantile = 0.95;
+    /// Number of initial observations during which everything is
+    /// retained while the estimate stabilizes.
+    std::uint64_t warmup = 64;
+};
+
+class TailSampler {
+public:
+    explicit TailSampler(TailSamplerOptions options = {});
+
+    TailSampler(const TailSampler&) = delete;
+    TailSampler& operator=(const TailSampler&) = delete;
+
+    /// Records one request and decides whether its full telemetry is
+    /// kept. `failed` requests are always kept; successful ones update
+    /// the quantile estimate and are kept while warming up or when
+    /// `latency_us` reaches the running threshold.
+    bool observe(double latency_us, bool failed);
+
+    /// Current quantile estimate in microseconds; NaN until the
+    /// estimator has seen five successful observations.
+    double threshold() const;
+
+    std::uint64_t observed() const noexcept {
+        return observed_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t retained() const noexcept {
+        return retained_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t dropped() const noexcept {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+private:
+    /// Feeds the P² estimator; returns the post-update estimate (NaN
+    /// while fewer than five observations). Caller holds mutex_.
+    double update_estimate(double value);
+
+    TailSamplerOptions options_;
+
+    mutable std::mutex mutex_;
+    // P² marker state (guarded by mutex_): heights, actual positions,
+    // desired positions, desired-position increments.
+    double q_[5] = {0, 0, 0, 0, 0};
+    double n_[5] = {0, 0, 0, 0, 0};
+    double np_[5] = {0, 0, 0, 0, 0};
+    double dn_[5] = {0, 0, 0, 0, 0};
+    std::uint64_t count_ = 0;
+
+    std::atomic<std::uint64_t> observed_{0};
+    std::atomic<std::uint64_t> retained_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace wimi::obs

@@ -9,6 +9,8 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/context.hpp"
+#include "obs/obs.hpp"
 
 namespace wimi::serve {
 
@@ -56,6 +58,18 @@ ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
 ClientResult ServeClient::roundtrip(wire::Request request) {
     ensure(fd_ >= 0, "ServeClient: not connected");
     request.request_id = next_request_id_++;
+    // Only callers that already opened a trace propagate it: the check
+    // happens *before* the roundtrip span below, which would otherwise
+    // start a fresh trace and silently force every request to wire v2
+    // (breaking byte-compatibility with pre-v2 daemons for untraced
+    // clients).
+    const bool traced = obs::current_context().trace_id != 0;
+    WIMI_TRACE_SPAN("serve.client.roundtrip");
+    if (traced) {
+        const obs::ObsContext& ctx = obs::current_context();
+        request.trace_id = ctx.trace_id;
+        request.parent_span_id = ctx.span_id;
+    }
     wire::write_record(fd_, wire::encode_request(request));
     auto record = wire::read_record(fd_, "WSRP");
     ensure(record.has_value(),
@@ -71,6 +85,9 @@ ClientResult ServeClient::roundtrip(wire::Request request) {
     result.queue_us = response.queue_us;
     result.batch_wall_us = response.batch_wall_us;
     result.batch_size = response.batch_size;
+    result.payload = response.payload;
+    result.trace_id = response.trace_id;
+    result.daemon_span_id = response.span_id;
     result.message = response.message;
     return result;
 }
@@ -108,6 +125,24 @@ ClientResult ServeClient::swap_model(const std::string& path) {
 ClientResult ServeClient::request_shutdown() {
     wire::Request request;
     request.type = wire::MessageType::kShutdown;
+    return roundtrip(std::move(request));
+}
+
+ClientResult ServeClient::stats() {
+    wire::Request request;
+    request.type = wire::MessageType::kStats;
+    return roundtrip(std::move(request));
+}
+
+ClientResult ServeClient::health() {
+    wire::Request request;
+    request.type = wire::MessageType::kHealth;
+    return roundtrip(std::move(request));
+}
+
+ClientResult ServeClient::dump_flight() {
+    wire::Request request;
+    request.type = wire::MessageType::kDumpFlight;
     return roundtrip(std::move(request));
 }
 

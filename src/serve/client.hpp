@@ -12,6 +12,14 @@
 // bad request, shutting down — is not an exception but a Result with
 // ok() == false, because backpressure is an expected answer the caller
 // must be able to branch on cheaply.
+//
+// Trace propagation: when the calling thread has an active ObsContext
+// trace (it opened a WIMI_TRACE_SPAN), every request is wrapped in a
+// "serve.client.roundtrip" span and carries the trace id + span id on
+// the wire (v2 records), so daemon-side spans parent under this
+// client's trace. Threads with no active trace send v1 records, byte
+// identical to the PR 8 protocol — interop with old daemons costs
+// nothing unless tracing is actually on.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +42,13 @@ struct ClientResult {
     double queue_us = 0.0;
     double batch_wall_us = 0.0;
     std::uint32_t batch_size = 0;
+    /// Admin answer document (stats/health/dump_flight).
+    std::string payload;
+    /// Trace context echoed by a v2 daemon: the request's trace id and
+    /// the daemon-side request span id (0 from old daemons or when the
+    /// request carried no trace).
+    std::uint64_t trace_id = 0;
+    std::uint64_t daemon_span_id = 0;
     std::string message;  ///< rejection reason when !ok()
 
     bool ok() const { return status == wire::Status::kOk; }
@@ -67,6 +82,12 @@ public:
 
     /// Asks the daemon to shut down (it drains first).
     ClientResult request_shutdown();
+
+    /// Admin introspection (see daemon.hpp): ok() results carry the
+    /// answer document in `payload`.
+    ClientResult stats();        ///< wimi.stats.v1 JSON
+    ClientResult health();       ///< wimi.health.v1 JSON
+    ClientResult dump_flight();  ///< wimi.flight.v1 JSONL
 
 private:
     ClientResult roundtrip(wire::Request request);

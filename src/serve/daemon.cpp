@@ -11,7 +11,10 @@
 
 #include "common/error.hpp"
 #include "exec/parallel.hpp"
+#include "obs/json.hpp"
 #include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 
 namespace wimi::serve {
 namespace {
@@ -45,9 +48,32 @@ void close_if_open(int& fd) {
     }
 }
 
+/// wire::Status and obs::FlightOutcome share values by construction.
+obs::FlightOutcome to_flight_outcome(wire::Status status) noexcept {
+    return static_cast<obs::FlightOutcome>(
+        static_cast<std::uint32_t>(status));
+}
+
+void append_json_bool(std::string& out, const char* key, bool value) {
+    out += ",\"";
+    out += key;
+    out += "\":";
+    out += value ? "true" : "false";
+}
+
+void append_json_u64(std::string& out, const char* key, std::uint64_t v) {
+    out += ",\"";
+    out += key;
+    out += "\":";
+    out += std::to_string(v);
+}
+
 }  // namespace
 
-Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
+Daemon::Daemon(DaemonOptions options)
+    : options_(std::move(options)),
+      flight_(options_.flight),
+      sampler_(options_.sampler) {
     ensure(!options_.socket_path.empty(),
            "Daemon: socket_path must be set");
     sockaddr_un probe{};
@@ -56,6 +82,7 @@ Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
     ensure(options_.max_queue >= 1, "Daemon: max_queue must be >= 1");
     ensure(options_.max_batch >= 1, "Daemon: max_batch must be >= 1");
     engine_ = InferenceEngine::load_cached(options_.model_path);
+    flight_.intern_digest(engine_->digest());
 }
 
 Daemon::~Daemon() { stop(); }
@@ -116,6 +143,7 @@ void Daemon::start() {
         running_ = true;
         shutdown_requested_ = false;
     }
+    start_time_ = std::chrono::steady_clock::now();
     batch_thread_ = std::thread([this] { batch_loop(); });
     accept_thread_ = std::thread([this] { accept_loop(); });
     WIMI_OBS_LOG_INFO(kLogComponent, "daemon started",
@@ -193,6 +221,13 @@ void Daemon::stop() {
 
 bool Daemon::swap_model(const std::filesystem::path& path,
                         std::string* error) {
+    struct SwapFlag {
+        std::atomic<bool>& flag;
+        explicit SwapFlag(std::atomic<bool>& f) : flag(f) {
+            flag.store(true, std::memory_order_relaxed);
+        }
+        ~SwapFlag() { flag.store(false, std::memory_order_relaxed); }
+    } swap_flag(swap_in_progress_);
     try {
         // load_cached revalidates against the artifact's current bytes
         // (size+mtime fast path, digest on mismatch), so a model
@@ -206,6 +241,7 @@ bool Daemon::swap_model(const std::filesystem::path& path,
             engine_ = std::move(next);
         }
         swaps_.fetch_add(1, std::memory_order_relaxed);
+        flight_.intern_digest(model_digest());
         WIMI_OBS_COUNT("serve.daemon.swaps", 1);
         WIMI_OBS_LOG_INFO(kLogComponent, "model swapped",
                           obs::kv("path", path.string()),
@@ -248,7 +284,100 @@ DaemonStats Daemon::stats() const {
     stats.batches = batches_.load(std::memory_order_relaxed);
     stats.max_batch_size = max_batch_size_.load(std::memory_order_relaxed);
     stats.swaps = swaps_.load(std::memory_order_relaxed);
+    stats.admitted = admitted_.load(std::memory_order_relaxed);
+    stats.completed = completed_.load(std::memory_order_relaxed);
+    stats.shed = shed_.load(std::memory_order_relaxed);
+    stats.failed = failed_.load(std::memory_order_relaxed);
+    stats.unknown_kinds = unknown_kinds_.load(std::memory_order_relaxed);
+    stats.sampler_retained = sampler_.retained();
+    stats.sampler_dropped = sampler_.dropped();
+    stats.flight_records = flight_.total_appended();
     return stats;
+}
+
+std::string Daemon::stats_json() const {
+    const DaemonStats s = stats();
+    std::size_t queue_depth = 0;
+    bool draining = false;
+    {
+        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        queue_depth = queue_.size();
+        draining = draining_;
+    }
+    const bool is_running = running();
+    const double uptime_us =
+        start_time_ == std::chrono::steady_clock::time_point{}
+            ? 0.0
+            : us_since(start_time_, std::chrono::steady_clock::now());
+
+    std::string out = "{\"schema\":\"wimi.stats.v1\"";
+    out += ",\"uptime_us\":" + obs::json::number(uptime_us);
+    out += ",\"model_path\":\"" + obs::json::escape(options_.model_path) +
+           "\"";
+    out += ",\"model_digest\":\"" + obs::json::escape(model_digest()) +
+           "\"";
+    append_json_bool(out, "running", is_running);
+    append_json_bool(out, "draining", draining);
+    append_json_bool(out, "swap_in_progress", swap_in_progress());
+    append_json_u64(out, "queue_depth", queue_depth);
+    append_json_u64(out, "max_queue", options_.max_queue);
+    append_json_u64(out, "max_batch", options_.max_batch);
+    out += ",\"counters\":{";
+    out += "\"connections\":" + std::to_string(s.connections);
+    append_json_u64(out, "requests", s.requests);
+    append_json_u64(out, "responses_ok", s.responses_ok);
+    append_json_u64(out, "rejected_overload", s.rejected_overload);
+    append_json_u64(out, "rejected_bad_request", s.rejected_bad_request);
+    append_json_u64(out, "rejected_shutting_down",
+                    s.rejected_shutting_down);
+    append_json_u64(out, "server_errors", s.server_errors);
+    append_json_u64(out, "batches", s.batches);
+    append_json_u64(out, "max_batch_size", s.max_batch_size);
+    append_json_u64(out, "swaps", s.swaps);
+    append_json_u64(out, "admitted", s.admitted);
+    append_json_u64(out, "completed", s.completed);
+    append_json_u64(out, "shed", s.shed);
+    append_json_u64(out, "failed", s.failed);
+    append_json_u64(out, "unknown_kinds", s.unknown_kinds);
+    append_json_u64(out, "sampler_retained", s.sampler_retained);
+    append_json_u64(out, "sampler_dropped", s.sampler_dropped);
+    append_json_u64(out, "flight_records", s.flight_records);
+    out += "}";
+    // NaN (estimator cold) renders as null per json::number.
+    out += ",\"sampler_threshold_us\":" +
+           obs::json::number(sampler_.threshold());
+    out += ",\"metrics\":" + obs::metrics_to_json();
+    out += "}";
+    return out;
+}
+
+std::string Daemon::health_json() const {
+    std::size_t queue_depth = 0;
+    bool draining = false;
+    {
+        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        queue_depth = queue_.size();
+        draining = draining_;
+    }
+    const bool live = running();
+    const bool ready = live && !draining;
+    const double uptime_us =
+        start_time_ == std::chrono::steady_clock::time_point{}
+            ? 0.0
+            : us_since(start_time_, std::chrono::steady_clock::now());
+
+    std::string out = "{\"schema\":\"wimi.health.v1\"";
+    append_json_bool(out, "live", live);
+    append_json_bool(out, "ready", ready);
+    append_json_bool(out, "draining", draining);
+    append_json_bool(out, "swap_in_progress", swap_in_progress());
+    append_json_u64(out, "queue_depth", queue_depth);
+    append_json_u64(out, "max_queue", options_.max_queue);
+    out += ",\"uptime_us\":" + obs::json::number(uptime_us);
+    out += ",\"model_digest\":\"" + obs::json::escape(model_digest()) +
+           "\"";
+    out += "}";
+    return out;
 }
 
 void Daemon::accept_loop() {
@@ -313,9 +442,17 @@ void Daemon::reap_finished_connections() {
 
 std::shared_ptr<Daemon::Pending> Daemon::try_enqueue(
     wire::Request request, wire::Response* rejection) {
+    admitted_.fetch_add(1, std::memory_order_relaxed);
     auto pending = std::make_shared<Pending>();
+    const std::uint64_t request_id = request.request_id;
     pending->request = std::move(request);
     pending->received = std::chrono::steady_clock::now();
+    // Captured under the connection thread's request span, so the
+    // batch-side spans and the flight record tie back to the caller's
+    // trace (or the daemon-local one opened for untraced requests).
+    pending->ctx = obs::current_context();
+    pending->arrival_ts_us = obs::trace_now_us();
+    bool rejected = false;
     {
         const std::lock_guard<std::mutex> lock(queue_mutex_);
         if (draining_) {
@@ -323,20 +460,36 @@ std::shared_ptr<Daemon::Pending> Daemon::try_enqueue(
             rejection->message = "daemon is shutting down";
             rejected_shutting_down_.fetch_add(1, std::memory_order_relaxed);
             WIMI_OBS_COUNT("serve.daemon.rejected.shutting_down", 1);
-            return nullptr;
-        }
-        if (queue_.size() >= options_.max_queue) {
+            rejected = true;
+        } else if (queue_.size() >= options_.max_queue) {
             rejection->status = wire::Status::kOverloaded;
             rejection->message =
                 "admission queue full (" +
                 std::to_string(options_.max_queue) + " waiting)";
             rejected_overload_.fetch_add(1, std::memory_order_relaxed);
             WIMI_OBS_COUNT("serve.daemon.rejected.overload", 1);
-            return nullptr;
+            rejected = true;
+        } else {
+            queue_.push_back(pending);
+            WIMI_OBS_GAUGE_SET("serve.daemon.queue_depth",
+                               static_cast<double>(queue_.size()));
         }
-        queue_.push_back(pending);
-        WIMI_OBS_GAUGE_SET("serve.daemon.queue_depth",
-                           static_cast<double>(queue_.size()));
+    }
+    if (rejected) {
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        // Shed requests are always failures for the sampler and always
+        // land in the black box — an overload burst is exactly what a
+        // postmortem wants to see.
+        const bool sampled = sampler_.observe(0.0, /*failed=*/true);
+        WIMI_OBS_COUNT("serve.daemon.sampler.retained", 1);
+        obs::FlightSample sample;
+        sample.trace_id = pending->ctx.trace_id;
+        sample.request_id = request_id;
+        sample.arrival_ts_us = pending->arrival_ts_us;
+        sample.outcome = to_flight_outcome(rejection->status);
+        sample.sampled = sampled;
+        flight_.append(sample);
+        return nullptr;
     }
     queue_cv_.notify_one();
     return pending;
@@ -392,6 +545,40 @@ wire::Response Daemon::handle_control(const wire::Request& request) {
             WIMI_OBS_LOG_INFO(kLogComponent, "shutdown requested");
             return response;
         }
+        case wire::MessageType::kStats: {
+            response.status = wire::Status::kOk;
+            response.model_digest = model_digest();
+            response.payload = stats_json();
+            return response;
+        }
+        case wire::MessageType::kHealth: {
+            response.status = wire::Status::kOk;
+            response.model_digest = model_digest();
+            response.payload = health_json();
+            return response;
+        }
+        case wire::MessageType::kDumpFlight: {
+            response.status = wire::Status::kOk;
+            response.model_digest = model_digest();
+            response.payload = flight_.dump_json();
+            return response;
+        }
+        case wire::MessageType::kUnknown: {
+            // The CRC proved the stream is in sync; version skew is a
+            // per-request error answer, never a dropped connection.
+            response.status = wire::Status::kBadRequest;
+            response.message = "unknown request kind " +
+                               std::to_string(request.raw_type) +
+                               " (protocol version skew?)";
+            unknown_kinds_.fetch_add(1, std::memory_order_relaxed);
+            rejected_bad_request_.fetch_add(1, std::memory_order_relaxed);
+            WIMI_OBS_COUNT("serve.daemon.unknown_kind", 1);
+            WIMI_OBS_COUNT("serve.daemon.rejected.bad_request", 1);
+            WIMI_OBS_LOG_WARN(kLogComponent, "unknown request kind",
+                              obs::kv("raw_type", request.raw_type),
+                              obs::kv("request_id", request.request_id));
+            return response;
+        }
         default: {
             response.status = wire::Status::kBadRequest;
             response.message = "unknown request type";
@@ -436,6 +623,18 @@ void Daemon::serve_connection(int fd, Connection* connection) {
         requests_total_.fetch_add(1, std::memory_order_relaxed);
         WIMI_OBS_COUNT("serve.daemon.requests", 1);
 
+        // Run the request under the caller's wire trace context (zeros
+        // when untraced: the span below then opens a daemon-local
+        // trace). Queue-wait, batch, and engine spans all parent under
+        // this span, which itself parents under the caller's
+        // client-side span — one trace id across two processes.
+        obs::ObsContext caller_ctx;
+        caller_ctx.trace_id = request.trace_id;
+        caller_ctx.span_id = request.parent_span_id;
+        const obs::ScopedObsContext request_scope(caller_ctx);
+        WIMI_TRACE_SPAN("serve.daemon.request");
+        const std::uint64_t caller_trace = request.trace_id;
+
         wire::Response response;
         if (request.type == wire::MessageType::kPredictFeatures ||
             request.type == wire::MessageType::kPredictSeries) {
@@ -451,6 +650,13 @@ void Daemon::serve_connection(int fd, Connection* connection) {
             }
         } else {
             response = handle_control(request);
+        }
+        // Echo the caller's trace id plus the daemon-side request span
+        // so the client can stitch the two processes without reading
+        // the daemon's trace file. Untraced callers keep v1 responses.
+        if (caller_trace != 0) {
+            response.trace_id = caller_trace;
+            response.span_id = obs::current_context().span_id;
         }
         if (response.status == wire::Status::kOk) {
             responses_ok_.fetch_add(1, std::memory_order_relaxed);
@@ -524,6 +730,9 @@ void Daemon::process_batch(
     WIMI_OBS_HISTOGRAM("serve.daemon.batch.size",
                        static_cast<double>(batch.size()));
 
+    const std::uint32_t digest_index =
+        flight_.intern_digest(engine->digest());
+
     exec::ExecOptions exec_options;
     exec_options.label = "serve.daemon.batch";
     exec_options.threads = options_.batch_threads;
@@ -535,6 +744,12 @@ void Daemon::process_batch(
             batch.size(),
             [&](std::size_t i) {
                 const wire::Request& request = batch[i]->request;
+                // Reinstall the request's own captured context (the
+                // pool wrapper installed the *batcher's*): the engine
+                // span must parent under this request's caller, not
+                // under whichever request submitted the batch.
+                const obs::ScopedObsContext request_ctx(batch[i]->ctx);
+                WIMI_TRACE_SPAN("serve.daemon.engine");
                 wire::Response response;
                 response.request_id = request.request_id;
                 try {
@@ -569,17 +784,58 @@ void Daemon::process_batch(
         const double e2e_us = us_since(pending.received, end);
         WIMI_OBS_HISTOGRAM("serve.daemon.queue_us", queue_us);
         WIMI_OBS_HISTOGRAM("serve.daemon.e2e_us", e2e_us);
-        if (response.status == wire::Status::kOk) {
+        const bool ok = response.status == wire::Status::kOk;
+        if (ok) {
             response.queue_us = queue_us;
             response.batch_wall_us = wall_us;
             response.batch_size = static_cast<std::uint32_t>(batch.size());
+            completed_.fetch_add(1, std::memory_order_relaxed);
         } else if (response.status == wire::Status::kBadRequest) {
             rejected_bad_request_.fetch_add(1, std::memory_order_relaxed);
+            failed_.fetch_add(1, std::memory_order_relaxed);
             WIMI_OBS_COUNT("serve.daemon.rejected.bad_request", 1);
         } else {
             server_errors_.fetch_add(1, std::memory_order_relaxed);
+            failed_.fetch_add(1, std::memory_order_relaxed);
             WIMI_OBS_COUNT("serve.daemon.server_errors", 1);
         }
+
+        // Tail-sampling decision: failures always retained, successes
+        // only while warming up or at/above the streaming quantile
+        // estimate. The per-request log line below is the "full
+        // telemetry" the policy spends; counters/histograms above stay
+        // always-on.
+        const bool sampled = sampler_.observe(e2e_us, !ok);
+        if (sampled) {
+            WIMI_OBS_COUNT("serve.daemon.sampler.retained", 1);
+        } else {
+            WIMI_OBS_COUNT("serve.daemon.sampler.dropped", 1);
+        }
+
+        obs::FlightSample sample;
+        sample.trace_id = pending.ctx.trace_id;
+        sample.request_id = response.request_id;
+        sample.arrival_ts_us = pending.arrival_ts_us;
+        sample.queue_us = queue_us;
+        sample.e2e_us = e2e_us;
+        sample.batch_size = static_cast<std::uint32_t>(batch.size());
+        sample.outcome = to_flight_outcome(response.status);
+        sample.sampled = sampled;
+        sample.digest_index = digest_index;
+        flight_.append(sample);
+
+        if (sampled) {
+            const obs::ScopedObsContext request_ctx(pending.ctx);
+            WIMI_OBS_LOG_INFO(
+                kLogComponent, "request retained",
+                obs::kv("request_id", response.request_id),
+                obs::kv("outcome",
+                        std::string(wire::status_name(response.status))),
+                obs::kv("queue_us", queue_us),
+                obs::kv("e2e_us", e2e_us),
+                obs::kv("batch_size", batch.size()));
+        }
+
         {
             const std::lock_guard<std::mutex> lock(pending.mutex);
             pending.response = std::move(response);

@@ -31,9 +31,21 @@
 // counters `serve.daemon.requests`, `serve.daemon.responses.ok`,
 // `serve.daemon.rejected.{overload,bad_request,shutting_down}`,
 // `serve.daemon.server_errors`, `serve.daemon.batches`,
-// `serve.daemon.swaps`, `serve.daemon.connections`; gauge
-// `serve.daemon.queue_depth`. All of it flows through the PR 6 exporter
-// when the host process runs one (wimi_serve does).
+// `serve.daemon.swaps`, `serve.daemon.connections`,
+// `serve.daemon.unknown_kind`, `serve.daemon.sampler.{retained,dropped}`;
+// gauge `serve.daemon.queue_depth`. All of it flows through the PR 6
+// exporter when the host process runs one (wimi_serve does).
+//
+// Request-scoped observability (DESIGN.md §12): every decoded request
+// runs under a ScopedObsContext seeded from the wire-level trace
+// context, so daemon-side request/engine spans parent under the
+// caller's client-side span — one trace id across two processes. Each
+// request also lands in the obs::FlightRecorder black box (outcome,
+// queue wait, batch size, digest, e2e latency) and passes through the
+// obs::TailSampler, which keeps full telemetry only for failures and
+// the latency tail. The kStats / kHealth / kDumpFlight admin request
+// kinds expose stats + metrics snapshots, readiness/liveness, and the
+// flight ring over the same socket.
 #pragma once
 
 #include <atomic>
@@ -48,6 +60,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/context.hpp"
+#include "obs/flight.hpp"
+#include "obs/sampler.hpp"
 #include "serve/inference.hpp"
 #include "serve/wire.hpp"
 
@@ -75,6 +90,11 @@ struct DaemonOptions {
     /// with socket access is trusted by default; set false to refuse).
     bool allow_swap = true;
     bool allow_shutdown = true;
+    /// Flight-recorder ring (capacity 0 disables it; snapshot_path
+    /// enables auto-snapshots on overload/error bursts).
+    obs::FlightRecorderOptions flight;
+    /// Tail-sampling policy for per-request telemetry retention.
+    obs::TailSamplerOptions sampler;
 };
 
 /// Monotonic counters snapshot (see also the serve.daemon.* metrics).
@@ -89,6 +109,23 @@ struct DaemonStats {
     std::uint64_t batches = 0;
     std::uint64_t max_batch_size = 0;  ///< largest coalesced batch seen
     std::uint64_t swaps = 0;
+    /// Per-predict accounting. At quiescence (no requests in flight)
+    /// admitted == completed + shed + failed holds exactly:
+    /// every predict that arrived was either answered from a batch
+    /// (ok -> completed, error -> failed) or rejected at admission
+    /// (overload / shutting down -> shed).
+    std::uint64_t admitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t failed = 0;
+    /// CRC-valid requests whose type the daemon does not recognize
+    /// (protocol-version skew), answered with kBadRequest.
+    std::uint64_t unknown_kinds = 0;
+    /// Tail-sampler decisions (see obs::TailSampler).
+    std::uint64_t sampler_retained = 0;
+    std::uint64_t sampler_dropped = 0;
+    /// Total records appended to the flight ring.
+    std::uint64_t flight_records = 0;
 };
 
 class Daemon {
@@ -137,11 +174,35 @@ public:
 
     DaemonStats stats() const;
 
+    /// The `wimi.stats.v1` admin document served for kStats: uptime,
+    /// model identity, DaemonStats counters, and an embedded
+    /// wimi.metrics.v1 snapshot.
+    std::string stats_json() const;
+
+    /// The `wimi.health.v1` admin document served for kHealth:
+    /// liveness/readiness with queue-depth and swap-in-progress detail.
+    std::string health_json() const;
+
+    /// The black box (kDumpFlight serves flight_recorder().dump_json()).
+    const obs::FlightRecorder& flight_recorder() const { return flight_; }
+
+    /// True while swap_model() is loading a replacement engine (the old
+    /// engine keeps serving throughout).
+    bool swap_in_progress() const {
+        return swap_in_progress_.load(std::memory_order_relaxed);
+    }
+
 private:
     /// One admitted request waiting for (or holding) its answer.
     struct Pending {
         wire::Request request;
         std::chrono::steady_clock::time_point received;
+        /// Trace context captured on the connection thread (under the
+        /// daemon-side request span), reinstalled around the engine
+        /// call so batch-side spans parent under the caller's trace.
+        obs::ObsContext ctx;
+        /// Arrival on the trace clock, for the flight record.
+        double arrival_ts_us = 0.0;
         std::mutex mutex;
         std::condition_variable cv;
         bool done = false;
@@ -189,6 +250,11 @@ private:
     std::thread accept_thread_;
     std::thread batch_thread_;
 
+    obs::FlightRecorder flight_;
+    obs::TailSampler sampler_;
+    std::chrono::steady_clock::time_point start_time_{};
+    std::atomic<bool> swap_in_progress_{false};
+
     std::mutex connections_mutex_;
     std::vector<std::unique_ptr<Connection>> connections_;
 
@@ -203,6 +269,11 @@ private:
     std::atomic<std::uint64_t> batches_{0};
     std::atomic<std::uint64_t> max_batch_size_{0};
     std::atomic<std::uint64_t> swaps_{0};
+    std::atomic<std::uint64_t> admitted_{0};
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> shed_{0};
+    std::atomic<std::uint64_t> failed_{0};
+    std::atomic<std::uint64_t> unknown_kinds_{0};
 };
 
 }  // namespace wimi::serve

@@ -65,6 +65,7 @@ void put_bytes(std::vector<std::uint8_t>& out, std::string_view bytes) {
 /// cursors): truncated or lying lengths become clean decode errors.
 class Cursor {
 public:
+    Cursor() : data_(nullptr), size_(0) {}
     Cursor(const std::uint8_t* data, std::size_t size)
         : data_(data), size_(size) {}
 
@@ -124,47 +125,85 @@ private:
     std::size_t pos_ = 0;
 };
 
-/// Frames `body` as one record: header + body + CRC over both.
+/// Records with trace context or a payload need the v2 layout; plain
+/// records stay at v1 so pre-v2 peers keep decoding them.
+std::uint32_t pick_version(std::uint64_t trace_id, std::uint64_t span_id,
+                           bool has_payload) {
+    return (trace_id != 0 || span_id != 0 || has_payload) ? kWireVersion2
+                                                          : kWireVersion1;
+}
+
+/// Frames `body` as one record: header (+ v2 trace extension) + body +
+/// CRC over everything before the trailer.
 std::vector<std::uint8_t> frame_record(const char magic[4],
+                                       std::uint32_t version,
                                        std::uint32_t type_or_status,
                                        std::uint64_t request_id,
+                                       std::uint64_t trace_id,
+                                       std::uint64_t span_id,
                                        const std::vector<std::uint8_t>& body) {
     std::vector<std::uint8_t> record;
-    record.reserve(kWireHeaderBytes + body.size() + kWireTrailerBytes);
+    const std::size_t ext =
+        version >= kWireVersion2 ? kWireTraceExtBytes : 0;
+    record.reserve(kWireHeaderBytes + ext + body.size() + kWireTrailerBytes);
     put_u32_le(record, fourcc(magic));
-    put_u32_le(record, kWireCurrentVersion);
+    put_u32_le(record, version);
     put_u32_le(record, type_or_status);
     put_u64_le(record, request_id);
     put_u64_le(record, body.size());
+    if (version >= kWireVersion2) {
+        put_u64_le(record, trace_id);
+        put_u64_le(record, span_id);
+    }
     record.insert(record.end(), body.begin(), body.end());
     put_u32_le(record, crc32(record.data(), record.size()));
     return record;
 }
 
-/// Validates framing (magic, version, lengths, CRC) and returns the
-/// body cursor plus the type/status and request id fields.
-Cursor open_record(std::span<const std::uint8_t> record,
-                   const char magic[4], std::uint32_t* type_or_status,
-                   std::uint64_t* request_id) {
+/// Parsed framing of one record: validated prefix fields plus the body
+/// cursor. trace_id/span_id are zero for v1 records.
+struct OpenedRecord {
+    std::uint32_t version = 0;
+    std::uint32_t type_or_status = 0;
+    std::uint64_t request_id = 0;
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+    Cursor body;
+};
+
+/// Validates framing (magic, version, lengths, CRC) and splits the
+/// record into its fields.
+OpenedRecord open_record(std::span<const std::uint8_t> record,
+                         const char magic[4]) {
     ensure(record.size() >= kWireHeaderBytes + kWireTrailerBytes,
            "wire: record shorter than header + CRC");
+    OpenedRecord opened;
     Cursor header(record.data(), record.size());
     ensure(header.get_u32() == fourcc(magic), "wire: bad record magic");
-    const std::uint32_t version = header.get_u32();
-    ensure(version == kWireVersion1, "wire: unknown protocol version");
-    *type_or_status = header.get_u32();
-    *request_id = header.get_u64();
+    opened.version = header.get_u32();
+    ensure(opened.version == kWireVersion1 ||
+               opened.version == kWireVersion2,
+           "wire: unknown protocol version");
+    opened.type_or_status = header.get_u32();
+    opened.request_id = header.get_u64();
     const std::uint64_t body_bytes = header.get_u64();
     ensure(body_bytes <= kMaxBodyBytes, "wire: body length over limit");
+    const std::size_t ext =
+        opened.version == kWireVersion2 ? kWireTraceExtBytes : 0;
     ensure(record.size() ==
-               kWireHeaderBytes + body_bytes + kWireTrailerBytes,
+               kWireHeaderBytes + ext + body_bytes + kWireTrailerBytes,
            "wire: record length does not match body length");
+    if (ext != 0) {
+        opened.trace_id = header.get_u64();
+        opened.span_id = header.get_u64();
+    }
     const std::size_t crc_offset = record.size() - kWireTrailerBytes;
     Cursor trailer(record.data() + crc_offset, kWireTrailerBytes);
     ensure(trailer.get_u32() == crc32(record.data(), crc_offset),
            "wire: record CRC mismatch");
-    return Cursor(record.data() + kWireHeaderBytes,
-                  static_cast<std::size_t>(body_bytes));
+    opened.body = Cursor(record.data() + kWireHeaderBytes + ext,
+                         static_cast<std::size_t>(body_bytes));
+    return opened;
 }
 
 std::string serialize_series(const csi::CsiSeries& series) {
@@ -243,16 +282,24 @@ std::vector<std::uint8_t> encode_request(const Request& request) {
         }
         case MessageType::kPing:
         case MessageType::kShutdown:
+        case MessageType::kStats:
+        case MessageType::kHealth:
+        case MessageType::kDumpFlight:
             break;
         default:
             fail("wire: unknown request type");
     }
-    return frame_record(kRequestMagic,
+    const std::uint32_t version = pick_version(
+        request.trace_id, request.parent_span_id, /*has_payload=*/false);
+    return frame_record(kRequestMagic, version,
                         static_cast<std::uint32_t>(request.type),
-                        request.request_id, body);
+                        request.request_id, request.trace_id,
+                        request.parent_span_id, body);
 }
 
 std::vector<std::uint8_t> encode_response(const Response& response) {
+    const std::uint32_t version = pick_version(
+        response.trace_id, response.span_id, !response.payload.empty());
     std::vector<std::uint8_t> body;
     if (response.status == Status::kOk) {
         put_i32_le(body, response.material_id);
@@ -261,20 +308,27 @@ std::vector<std::uint8_t> encode_response(const Response& response) {
         put_f64_le(body, response.queue_us);
         put_f64_le(body, response.batch_wall_us);
         put_u32_le(body, response.batch_size);
+        if (version >= kWireVersion2) {
+            put_string(body, response.payload);
+        }
     } else {
         put_string(body, response.message);
     }
-    return frame_record(kResponseMagic,
+    return frame_record(kResponseMagic, version,
                         static_cast<std::uint32_t>(response.status),
-                        response.request_id, body);
+                        response.request_id, response.trace_id,
+                        response.span_id, body);
 }
 
 Request decode_request(std::span<const std::uint8_t> record) {
-    std::uint32_t type = 0;
+    OpenedRecord opened = open_record(record, kRequestMagic);
     Request request;
-    Cursor body =
-        open_record(record, kRequestMagic, &type, &request.request_id);
-    switch (type) {
+    request.request_id = opened.request_id;
+    request.trace_id = opened.trace_id;
+    request.parent_span_id = opened.span_id;
+    request.raw_type = opened.type_or_status;
+    Cursor& body = opened.body;
+    switch (opened.type_or_status) {
         case static_cast<std::uint32_t>(MessageType::kPredictFeatures): {
             request.type = MessageType::kPredictFeatures;
             const std::uint32_t width = body.get_u32();
@@ -302,21 +356,37 @@ Request decode_request(std::span<const std::uint8_t> record) {
         case static_cast<std::uint32_t>(MessageType::kShutdown):
             request.type = MessageType::kShutdown;
             break;
+        case static_cast<std::uint32_t>(MessageType::kStats):
+            request.type = MessageType::kStats;
+            break;
+        case static_cast<std::uint32_t>(MessageType::kHealth):
+            request.type = MessageType::kHealth;
+            break;
+        case static_cast<std::uint32_t>(MessageType::kDumpFlight):
+            request.type = MessageType::kDumpFlight;
+            break;
         default:
-            fail("wire: unknown request type");
+            // CRC-valid framing with a type from the future: surface it
+            // as kUnknown (body skipped) so the server can answer with
+            // an explicit error instead of dropping the connection.
+            request.type = MessageType::kUnknown;
+            return request;
     }
     ensure(body.exhausted(), "wire: trailing bytes after request body");
     return request;
 }
 
 Response decode_response(std::span<const std::uint8_t> record) {
-    std::uint32_t status = 0;
-    Response response;
-    Cursor body =
-        open_record(record, kResponseMagic, &status, &response.request_id);
-    ensure(status <= static_cast<std::uint32_t>(Status::kShuttingDown),
+    OpenedRecord opened = open_record(record, kResponseMagic);
+    ensure(opened.type_or_status <=
+               static_cast<std::uint32_t>(Status::kShuttingDown),
            "wire: unknown response status");
-    response.status = static_cast<Status>(status);
+    Response response;
+    response.request_id = opened.request_id;
+    response.trace_id = opened.trace_id;
+    response.span_id = opened.span_id;
+    response.status = static_cast<Status>(opened.type_or_status);
+    Cursor& body = opened.body;
     if (response.status == Status::kOk) {
         response.material_id = body.get_i32();
         response.material_name = body.get_string();
@@ -324,6 +394,9 @@ Response decode_response(std::span<const std::uint8_t> record) {
         response.queue_us = body.get_f64();
         response.batch_wall_us = body.get_f64();
         response.batch_size = body.get_u32();
+        if (opened.version >= kWireVersion2) {
+            response.payload = body.get_string();
+        }
     } else {
         response.message = body.get_string();
     }
@@ -358,15 +431,18 @@ std::optional<std::vector<std::uint8_t>> read_record(
     Cursor header(record.data(), kWireHeaderBytes);
     ensure(header.get_u32() == fourcc(expected_magic),
            "wire: bad record magic");
-    ensure(header.get_u32() == kWireVersion1,
+    const std::uint32_t version = header.get_u32();
+    ensure(version == kWireVersion1 || version == kWireVersion2,
            "wire: unknown protocol version");
     header.get_u32();  // type / status: validated by the decoder
     header.get_u64();  // request id
     const std::uint64_t body_bytes = header.get_u64();
     ensure(body_bytes <= kMaxBodyBytes, "wire: body length over limit");
 
-    record.resize(kWireHeaderBytes + static_cast<std::size_t>(body_bytes) +
-                  kWireTrailerBytes);
+    const std::size_t ext =
+        version == kWireVersion2 ? kWireTraceExtBytes : 0;
+    record.resize(kWireHeaderBytes + ext +
+                  static_cast<std::size_t>(body_bytes) + kWireTrailerBytes);
     read_exact(fd, record.data() + kWireHeaderBytes,
                record.size() - kWireHeaderBytes, "record body");
     return record;

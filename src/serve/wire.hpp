@@ -12,12 +12,16 @@
 //
 //   offset  size  field
 //        0     4  magic "WSRQ"
-//        4     4  u32 version (= 1)
+//        4     4  u32 version (1 or 2)
 //        8     4  u32 type (MessageType)
 //       12     8  u64 request_id (client-chosen, echoed in the response)
 //       20     8  u64 body_bytes (N)
-//       28     N  body (layout depends on type, see below)
-//     28+N     4  u32 CRC-32 over bytes [0, 28+N)
+//     [v2 only — trace-context extension]
+//       28     8  u64 trace_id (caller's ObsContext trace, 0 = none)
+//       36     8  u64 span_id  (caller's active span / responder's span)
+//     [end v2 extension]
+//        H     N  body (H = 28 for v1, 44 for v2; layout depends on type)
+//      H+N     4  u32 CRC-32 over bytes [0, H+N)
 //
 // Response record ("WSRP") has the same shape with `type` replaced by
 // `status` (Status). Request bodies:
@@ -31,21 +35,36 @@
 //   kSwapModel       — u32 path_bytes + UTF-8 wimi.model.v1 path, read
 //                      by the *server* process.
 //   kPing, kShutdown — empty body.
+//   kStats, kHealth, kDumpFlight — empty body; admin introspection, the
+//                      answer arrives in the response `payload`.
 //
 // Response bodies:
 //
 //   kOk to a predict  — i32 material_id, u32 name_bytes + UTF-8 name,
 //                       u32 digest_bytes + UTF-8 model digest,
-//                       f64 queue_us, f64 batch_wall_us, u32 batch_size.
+//                       f64 queue_us, f64 batch_wall_us, u32 batch_size,
+//                       then (v2 only) u32 payload_bytes + payload.
 //   kOk to ping/swap  — u32 digest_bytes + digest of the (new) serving
-//                       model; remaining predict fields zeroed.
+//                       model; remaining predict fields zeroed. Admin
+//                       answers (stats/health/dump-flight) ride in the
+//                       v2 payload field (JSON or JSONL documents).
 //   anything else     — u32 message_bytes + UTF-8 reason. Rejections
 //                       are explicit protocol answers, not closed
 //                       connections: an overloaded server says so.
 //
-// Compatibility policy mirrors wimi.model.v1: v1 is frozen, any layout
-// change bumps the version, and decoders reject versions, magics, body
-// lengths, and checksums they do not like.
+// Version negotiation is per-record and implicit: encoders emit v1
+// whenever the record carries no trace context and no payload, so a
+// client that never opens a trace speaks bytes identical to PR 8 and
+// old daemons interoperate untouched. v2 only appears when there is
+// something to say, and a v2-aware peer accepts both. Any other layout
+// change bumps the version again; decoders reject versions, magics,
+// body lengths, and checksums they do not like.
+//
+// A syntactically valid record whose `type` is unrecognized decodes to
+// MessageType::kUnknown (raw value preserved in `raw_type`) instead of
+// throwing: the CRC proved the stream is still in sync, so
+// protocol-version skew stays a per-request error answer, never a
+// dropped connection.
 #pragma once
 
 #include <cstdint>
@@ -59,12 +78,18 @@
 namespace wimi::serve::wire {
 
 inline constexpr std::uint32_t kWireVersion1 = 1;
-/// Version encode_request / encode_response emit.
-inline constexpr std::uint32_t kWireCurrentVersion = kWireVersion1;
+/// v2 appends the 16-byte trace-context extension to the header and the
+/// payload string to kOk response bodies.
+inline constexpr std::uint32_t kWireVersion2 = 2;
+/// Highest version the encoders emit (they prefer v1 when a record
+/// carries neither trace context nor payload — see above).
+inline constexpr std::uint32_t kWireCurrentVersion = kWireVersion2;
 
 /// Fixed prefix of every record before the body: magic + version +
 /// type/status + request_id + body_bytes.
 inline constexpr std::size_t kWireHeaderBytes = 28;
+/// v2 trace-context extension: u64 trace_id + u64 span_id.
+inline constexpr std::size_t kWireTraceExtBytes = 16;
 /// Trailing CRC-32.
 inline constexpr std::size_t kWireTrailerBytes = 4;
 
@@ -74,11 +99,18 @@ inline constexpr std::size_t kWireTrailerBytes = 4;
 inline constexpr std::uint64_t kMaxBodyBytes = 256ull * 1024 * 1024;
 
 enum class MessageType : std::uint32_t {
+    /// Decoder sentinel for a CRC-valid record with an unrecognized
+    /// type (never appears on the wire; wire types start at 1).
+    kUnknown = 0,
     kPredictFeatures = 1,
     kPredictSeries = 2,
     kSwapModel = 3,
     kPing = 4,
     kShutdown = 5,
+    /// Admin introspection (empty bodies, JSON answers in `payload`).
+    kStats = 6,
+    kHealth = 7,
+    kDumpFlight = 8,
 };
 
 enum class Status : std::uint32_t {
@@ -103,6 +135,12 @@ std::string_view status_name(Status status) noexcept;
 struct Request {
     MessageType type = MessageType::kPing;
     std::uint64_t request_id = 0;
+    /// Trace context propagated from the caller's ObsContext; 0 means
+    /// "no active trace" and keeps the record at wire v1.
+    std::uint64_t trace_id = 0;
+    std::uint64_t parent_span_id = 0;
+    /// Raw wire value of `type`; only interesting when type == kUnknown.
+    std::uint32_t raw_type = 0;
     std::vector<double> features;
     csi::CsiSeries baseline;
     csi::CsiSeries target;
@@ -113,6 +151,11 @@ struct Request {
 struct Response {
     Status status = Status::kOk;
     std::uint64_t request_id = 0;
+    /// Trace context echoed by the daemon: the request's trace id plus
+    /// the daemon-side request span, so a client can stitch the two
+    /// processes together without parsing the daemon's trace file.
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
     /// Predict answers. material_id is -1 for non-predict responses.
     int material_id = -1;
     std::string material_name;
@@ -126,19 +169,22 @@ struct Response {
     double queue_us = 0.0;
     double batch_wall_us = 0.0;
     std::uint32_t batch_size = 0;
+    /// Admin answer document (kStats/kHealth/kDumpFlight); forces v2.
+    std::string payload;
     /// Reason text for non-kOk statuses.
     std::string message;
 };
 
 /// Serializes a request/response into one self-contained record.
 /// Throws wimi::Error on inconsistent input (e.g. a series request
-/// whose CsiSeries fails validation).
+/// whose CsiSeries fails validation, or a kUnknown request).
 std::vector<std::uint8_t> encode_request(const Request& request);
 std::vector<std::uint8_t> encode_response(const Response& response);
 
 /// Decodes one full record (header + body + CRC). Throws wimi::Error on
 /// bad magic, unknown version, length mismatch, CRC failure, or a
-/// malformed body.
+/// malformed body. A well-framed request with an unrecognized type
+/// yields type == kUnknown instead of throwing.
 Request decode_request(std::span<const std::uint8_t> record);
 Response decode_response(std::span<const std::uint8_t> record);
 

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# End-to-end drill for the serving plane's request-scoped observability
+# (DESIGN.md §12), against real binaries over a real socket:
+#
+#   1. train a small artifact;
+#   2. start wimi_serve with trace/log/telemetry/flight outputs;
+#   3. run traced predicts from a separate client process;
+#   4. pull stats / health / dump-flight over the socket and validate
+#      the documents (schema tags, digest agreement, ok outcomes);
+#   5. stop the daemon and check the client and daemon Chrome traces
+#      share a trace id (`wimi_obs trace-check --require-shared-trace`)
+#      and that worker log lines resolve;
+#   6. confirm `wimi_obs summarize` renders the serve.daemon.* family.
+#
+# Usage: serve_e2e.sh <wimi_model> <wimi_serve> <wimi_obs>
+set -euo pipefail
+
+WIMI_MODEL=$1
+WIMI_SERVE=$2
+WIMI_OBS=$3
+
+WORK=$(mktemp -d /tmp/wimi_serve_e2e.XXXXXX)
+# Socket path lives directly in /tmp: sockaddr_un caps paths at ~107
+# bytes and ctest build trees can be deep.
+SOCK=$(mktemp -u /tmp/wimi_e2e_XXXXXX.sock)
+DAEMON_PID=""
+cleanup() {
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill "$DAEMON_PID" 2>/dev/null || true
+        wait "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK" "$SOCK"
+}
+trap cleanup EXIT
+
+step() { echo "serve_e2e: $*"; }
+
+step "training artifact"
+"$WIMI_MODEL" train "$WORK/model.wmdl" --reps 2 --seed 5 >/dev/null
+
+step "starting daemon"
+"$WIMI_SERVE" start "$WORK/model.wmdl" --socket "$SOCK" \
+    --log-out "$WORK/daemon.log.jsonl" \
+    --trace-out "$WORK/daemon.trace.json" \
+    --telemetry-out "$WORK/daemon.telemetry.jsonl" \
+    --telemetry-interval-ms 100 \
+    --flight-capacity 64 >"$WORK/daemon.stdout" 2>&1 &
+DAEMON_PID=$!
+
+for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+        cat "$WORK/daemon.stdout" >&2
+        echo "serve_e2e: daemon died before binding" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "serve_e2e: socket never appeared" >&2; exit 1; }
+
+step "health probe"
+"$WIMI_SERVE" health --socket "$SOCK" | grep -q '"ready":true'
+
+step "traced predicts"
+"$WIMI_SERVE" predict --socket "$SOCK" --count 6 \
+    --trace-out "$WORK/client.trace.json" >/dev/null
+
+step "stats document"
+PING_DIGEST=$("$WIMI_SERVE" ping --socket "$SOCK" |
+    sed -n 's/.*digest \([0-9a-f]*\)).*/\1/p')
+[ -n "$PING_DIGEST" ]
+STATS=$("$WIMI_SERVE" stats --socket "$SOCK")
+echo "$STATS" | grep -q '"schema":"wimi.stats.v1"'
+echo "$STATS" | grep -q "\"model_digest\":\"$PING_DIGEST\""
+echo "$STATS" | grep -q '"schema":"wimi.metrics.v1"'  # embedded snapshot
+
+step "flight dump"
+"$WIMI_SERVE" dump-flight --socket "$SOCK" --out "$WORK/flight.jsonl" \
+    >/dev/null
+[ -s "$WORK/flight.jsonl" ]
+grep -q '"schema":"wimi.flight.v1"' "$WORK/flight.jsonl"
+"$WIMI_OBS" flight "$WORK/flight.jsonl" | grep -q 'ok=6'
+
+step "stopping daemon"
+"$WIMI_SERVE" stop --socket "$SOCK" >/dev/null
+wait "$DAEMON_PID"
+DAEMON_PID=""
+
+step "cross-process trace check"
+[ -s "$WORK/client.trace.json" ]
+[ -s "$WORK/daemon.trace.json" ]
+"$WIMI_OBS" trace-check "$WORK/client.trace.json" \
+    "$WORK/daemon.trace.json" --log "$WORK/daemon.log.jsonl" \
+    --require-shared-trace
+
+step "telemetry summarize"
+"$WIMI_OBS" summarize "$WORK/daemon.telemetry.jsonl" |
+    grep -q 'serve\.daemon'
+
+step "ok"

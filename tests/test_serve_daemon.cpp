@@ -19,6 +19,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <filesystem>
@@ -26,7 +27,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "obs/context.hpp"
+#include "obs/json.hpp"
 #include "serve/client.hpp"
 #include "serve/inference.hpp"
 #include "serve/model_io.hpp"
@@ -411,6 +415,208 @@ TEST(ServeDaemon, CorruptRecordAnsweredThenHangup) {
     EXPECT_TRUE(client.ping().ok());
     daemon.stop();
     EXPECT_GE(daemon.stats().rejected_bad_request, 1u);
+}
+
+TEST(ServeDaemon, TracePropagationCrossesTheSocket) {
+    Daemon daemon(base_options("traceprop"));
+    daemon.start();
+
+    // A caller with an active trace context: the client must stamp it
+    // on the wire (v2) and the daemon must echo the same trace id plus
+    // its own request span id. Installing the context directly (rather
+    // than via WIMI_TRACE_SPAN) keeps this meaningful in obs-off builds
+    // too — propagation is wire-level, not macro-level.
+    obs::ObsContext caller;
+    caller.trace_id = 0x000ABCDEF012345ull;
+    caller.span_id = 0x000001111222233ull;
+    {
+        obs::ScopedObsContext scope(caller);
+        ServeClient client(daemon.socket_path());
+        const ClientResult traced =
+            client.predict_features(valid_features());
+        ASSERT_TRUE(traced.ok()) << traced.message;
+        EXPECT_EQ(traced.trace_id, caller.trace_id);
+        EXPECT_NE(traced.daemon_span_id, 0u);
+    }
+    // A caller with no trace context sends v1 and gets no echo.
+    ServeClient untraced_client(daemon.socket_path());
+    const ClientResult untraced =
+        untraced_client.predict_features(valid_features());
+    ASSERT_TRUE(untraced.ok()) << untraced.message;
+    EXPECT_EQ(untraced.trace_id, 0u);
+    EXPECT_EQ(untraced.daemon_span_id, 0u);
+    daemon.stop();
+
+    // Both requests landed in the flight ring; the traced one carries
+    // the caller's trace id.
+    bool saw_caller_trace = false;
+    for (const obs::FlightRecord& record :
+         daemon.flight_recorder().snapshot()) {
+        saw_caller_trace |=
+            record.sample.trace_id == caller.trace_id;
+    }
+    EXPECT_TRUE(saw_caller_trace);
+}
+
+TEST(ServeDaemon, StatsHealthAndFlightServeOverTheSocket) {
+    Daemon daemon(base_options("admin"));
+    daemon.start();
+    ServeClient client(daemon.socket_path());
+    ASSERT_TRUE(client.predict_features(valid_features()).ok());
+
+    const ClientResult stats = client.stats();
+    ASSERT_TRUE(stats.ok()) << stats.message;
+    EXPECT_EQ(stats.model_digest, fixture().digest_a);
+    const obs::json::Value stats_doc = obs::json::parse(stats.payload);
+    EXPECT_EQ(stats_doc.find("schema")->string, "wimi.stats.v1");
+    EXPECT_EQ(stats_doc.find("model_digest")->string,
+              fixture().digest_a);
+    EXPECT_GT(stats_doc.find("uptime_us")->num, 0.0);
+    const obs::json::Value* counters = stats_doc.find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_GE(counters->find("admitted")->num, 1.0);
+    EXPECT_GE(counters->find("completed")->num, 1.0);
+    // The embedded metrics snapshot is a full wimi.metrics.v1 document.
+    const obs::json::Value* metrics = stats_doc.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    EXPECT_EQ(metrics->find("schema")->string, "wimi.metrics.v1");
+
+    const ClientResult health = client.health();
+    ASSERT_TRUE(health.ok()) << health.message;
+    const obs::json::Value health_doc = obs::json::parse(health.payload);
+    EXPECT_EQ(health_doc.find("schema")->string, "wimi.health.v1");
+    EXPECT_TRUE(health_doc.find("live")->boolean);
+    EXPECT_TRUE(health_doc.find("ready")->boolean);
+    EXPECT_FALSE(health_doc.find("draining")->boolean);
+    EXPECT_EQ(health_doc.find("model_digest")->string,
+              fixture().digest_a);
+
+    const ClientResult flight = client.dump_flight();
+    ASSERT_TRUE(flight.ok()) << flight.message;
+    ASSERT_FALSE(flight.payload.empty());
+    // Every line is a wimi.flight.v1 record; the predict is in there.
+    std::size_t records = 0;
+    std::size_t start = 0;
+    while (start < flight.payload.size()) {
+        const std::size_t end = flight.payload.find('\n', start);
+        const obs::json::Value record =
+            obs::json::parse(flight.payload.substr(start, end - start));
+        EXPECT_EQ(record.find("schema")->string, "wimi.flight.v1");
+        EXPECT_EQ(record.find("digest")->string, fixture().digest_a);
+        ++records;
+        start = end + 1;
+    }
+    EXPECT_GE(records, 1u);
+    daemon.stop();
+}
+
+TEST(ServeDaemon, UnknownKindAnsweredWithoutHangup) {
+    Daemon daemon(base_options("unknownkind"));
+    daemon.start();
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, daemon.socket_path().c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+
+    // A well-formed record whose type this daemon has never heard of:
+    // rewrite a ping's type and re-sign the CRC, as a newer client
+    // speaking a future protocol revision would.
+    wire::Request ping;
+    ping.type = wire::MessageType::kPing;
+    ping.request_id = 88;
+    std::vector<std::uint8_t> record = wire::encode_request(ping);
+    record[8] = 0x6f;
+    const std::uint32_t crc =
+        crc32(record.data(), record.size() - wire::kWireTrailerBytes);
+    for (std::size_t i = 0; i < 4; ++i) {
+        record[record.size() - 4 + i] =
+            static_cast<std::uint8_t>(crc >> (8 * i));
+    }
+    wire::write_record(fd, record);
+
+    const auto answer = wire::read_record(fd, "WSRP");
+    ASSERT_TRUE(answer.has_value());
+    const wire::Response response = wire::decode_response(*answer);
+    EXPECT_EQ(response.status, wire::Status::kBadRequest);
+    EXPECT_EQ(response.request_id, 88u);
+    EXPECT_NE(response.message.find("unknown request kind"),
+              std::string::npos)
+        << response.message;
+
+    // Unlike corruption, version skew is not a framing hazard: the SAME
+    // connection keeps working.
+    wire::Request real_ping;
+    real_ping.type = wire::MessageType::kPing;
+    real_ping.request_id = 89;
+    wire::write_record(fd, wire::encode_request(real_ping));
+    const auto pong = wire::read_record(fd, "WSRP");
+    ASSERT_TRUE(pong.has_value());
+    EXPECT_EQ(wire::decode_response(*pong).status, wire::Status::kOk);
+    ::close(fd);
+
+    daemon.stop();
+    EXPECT_EQ(daemon.stats().unknown_kinds, 1u);
+}
+
+TEST(ServeDaemon, StatsInvariantHoldsUnderConcurrentLoad) {
+    // The per-predict ledger: at quiescence every admitted request is
+    // accounted for exactly once — completed (ok), shed (admission
+    // rejection), or failed (bad request / engine error). A tight queue
+    // plus a per-batch stall forces all three paths concurrently; TSan
+    // CI runs this test to vet the counter/ring synchronization.
+    DaemonOptions options = base_options("invariant");
+    options.max_queue = 2;
+    options.max_batch = 2;
+    options.batch_stall = std::chrono::milliseconds(3);
+    options.flight.capacity = 32;
+    Daemon daemon(options);
+    daemon.start();
+
+    constexpr std::size_t kClients = 8;
+    constexpr std::size_t kPerClient = 12;
+    std::atomic<std::uint64_t> answered{0};
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            ServeClient client(daemon.socket_path());
+            const std::vector<double> good = valid_features();
+            const std::vector<double> narrow(
+                fixture().feature_width - 1, 0.0);
+            for (std::size_t r = 0; r < kPerClient; ++r) {
+                // Every third request is malformed -> failed path.
+                const ClientResult result = client.predict_features(
+                    (c + r) % 3 == 0 ? narrow : good);
+                answered.fetch_add(1);
+                ASSERT_TRUE(result.ok() ||
+                            result.status == wire::Status::kOverloaded ||
+                            result.status == wire::Status::kBadRequest)
+                    << result.message;
+            }
+        });
+    }
+    for (std::thread& thread : clients) {
+        thread.join();
+    }
+    daemon.stop();
+
+    const DaemonStats stats = daemon.stats();
+    EXPECT_EQ(answered.load(), kClients * kPerClient);
+    EXPECT_EQ(stats.admitted, kClients * kPerClient);
+    EXPECT_EQ(stats.admitted, stats.completed + stats.shed + stats.failed)
+        << "admitted=" << stats.admitted
+        << " completed=" << stats.completed << " shed=" << stats.shed
+        << " failed=" << stats.failed;
+    EXPECT_GT(stats.failed, 0u);
+    // Sampler saw every terminal decision; flight ring logged them all.
+    EXPECT_EQ(stats.sampler_retained + stats.sampler_dropped,
+              stats.admitted);
+    EXPECT_EQ(stats.flight_records, stats.admitted);
 }
 
 TEST(ServeDaemon, PredictSeriesOverTheSocket) {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "rf/material.hpp"
 #include "sim/scenario.hpp"
@@ -183,16 +184,111 @@ TEST(ServeWire, LyingBodyLengthRejected) {
     EXPECT_THROW(decode_request(record), Error);
 }
 
-TEST(ServeWire, UnknownTypeRejected) {
+TEST(ServeWire, UnknownTypeWithStaleCrcRejected) {
     Request request;
     request.type = MessageType::kPing;
     std::vector<std::uint8_t> record = encode_request(request);
-    // Rewrite type (offset 8, LE) to an undefined value. The CRC is now
-    // stale too, but patch it honestly: decode must reject on the type
-    // itself, so recompute by re-framing is overkill — corrupting both
-    // type and CRC still must throw, which is the property that matters.
+    // Rewrite type (offset 8, LE) without re-signing: the CRC is stale,
+    // so this is damage, not version skew, and must throw.
     record[8] = 0x7e;
     EXPECT_THROW(decode_request(record), Error);
+}
+
+// Patches `record[offset] = value` and re-signs the CRC trailer, turning
+// damage into an honest (future-protocol) record.
+std::vector<std::uint8_t> resign(std::vector<std::uint8_t> record,
+                                 std::size_t offset,
+                                 std::uint8_t value) {
+    record[offset] = value;
+    const std::uint32_t crc =
+        crc32(record.data(), record.size() - kWireTrailerBytes);
+    for (std::size_t i = 0; i < 4; ++i) {
+        record[record.size() - 4 + i] =
+            static_cast<std::uint8_t>(crc >> (8 * i));
+    }
+    return record;
+}
+
+TEST(ServeWire, UnknownTypeWithValidCrcDecodesToKUnknown) {
+    Request request;
+    request.type = MessageType::kPing;
+    request.request_id = 55;
+    // An undefined type with an intact CRC is a well-formed record from
+    // a newer protocol, not corruption: the decoder hands it back as
+    // kUnknown (raw type preserved) so the daemon can answer with an
+    // explicit kBadRequest instead of dropping the connection.
+    const std::vector<std::uint8_t> record =
+        resign(encode_request(request), 8, 0x7e);
+    const Request decoded = decode_request(record);
+    EXPECT_EQ(decoded.type, MessageType::kUnknown);
+    EXPECT_EQ(decoded.raw_type, 0x7eu);
+    EXPECT_EQ(decoded.request_id, 55u);
+}
+
+TEST(ServeWire, UntracedRequestStaysVersion1) {
+    // The PR 8 byte-compatibility promise: a request carrying no trace
+    // context encodes as a v1 record — same version byte, same length —
+    // so untraced clients interoperate with old daemons for free.
+    const std::vector<std::uint8_t> record =
+        encode_request(features_request());
+    EXPECT_EQ(record[4], 1u);  // version, LE low byte
+    const Request decoded = decode_request(record);
+    EXPECT_EQ(decoded.trace_id, 0u);
+    EXPECT_EQ(decoded.parent_span_id, 0u);
+}
+
+TEST(ServeWire, TracedRequestRoundTripsAsVersion2) {
+    Request request = features_request();
+    request.trace_id = 0x000ABCDEF1234567ull;
+    request.parent_span_id = 0x00011112222ull;
+    const std::vector<std::uint8_t> record = encode_request(request);
+    EXPECT_EQ(record[4], 2u);
+    // v2 is exactly the v1 framing plus the 16-byte trace extension.
+    const std::vector<std::uint8_t> v1 =
+        encode_request(features_request());
+    EXPECT_EQ(record.size(), v1.size() + kWireTraceExtBytes);
+    const Request decoded = decode_request(record);
+    EXPECT_EQ(decoded.type, MessageType::kPredictFeatures);
+    EXPECT_EQ(decoded.trace_id, request.trace_id);
+    EXPECT_EQ(decoded.parent_span_id, request.parent_span_id);
+    EXPECT_EQ(decoded.features, request.features);
+}
+
+TEST(ServeWire, AdminRequestsRoundTrip) {
+    for (const MessageType type :
+         {MessageType::kStats, MessageType::kHealth,
+          MessageType::kDumpFlight}) {
+        Request request;
+        request.type = type;
+        request.request_id = 77;
+        const Request decoded = decode_request(encode_request(request));
+        EXPECT_EQ(decoded.type, type);
+        EXPECT_EQ(decoded.request_id, 77u);
+    }
+}
+
+TEST(ServeWire, ResponseTraceAndPayloadRoundTrip) {
+    Response response;
+    response.status = Status::kOk;
+    response.request_id = 91;
+    response.model_digest = "feedface";
+    response.trace_id = 0x0005556667778ull;
+    response.span_id = 0x000999000111ull;
+    response.payload = "{\"schema\":\"wimi.stats.v1\",\"uptime_us\":5}";
+    const std::vector<std::uint8_t> record = encode_response(response);
+    EXPECT_EQ(record[4], 2u);
+    const Response decoded = decode_response(record);
+    EXPECT_EQ(decoded.status, Status::kOk);
+    EXPECT_EQ(decoded.trace_id, response.trace_id);
+    EXPECT_EQ(decoded.span_id, response.span_id);
+    EXPECT_EQ(decoded.payload, response.payload);
+    EXPECT_EQ(decoded.model_digest, "feedface");
+
+    // No trace, no payload -> still a v1 record.
+    Response plain;
+    plain.status = Status::kOk;
+    plain.request_id = 92;
+    EXPECT_EQ(encode_response(plain)[4], 1u);
 }
 
 }  // namespace

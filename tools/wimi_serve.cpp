@@ -3,26 +3,48 @@
 //   wimi_serve start <model.wmdl> --socket <path> [--max-queue N]
 //              [--max-batch N] [--threads T] [--log-out file.jsonl]
 //              [--telemetry-out file.jsonl] [--telemetry-interval-ms N]
-//              [--run-out ledger.jsonl]
+//              [--run-out ledger.jsonl] [--trace-out trace.json]
+//              [--flight-capacity N] [--flight-snapshot file.jsonl]
 //       Loads the model, binds the Unix-domain socket, and serves until
 //       a client sends a shutdown request (or SIGINT/SIGTERM). Every
 //       request flows through the serve.daemon.* metrics; with
 //       --telemetry-out a periodic wimi.metrics.v1 exporter appends
 //       snapshots there and with --log-out the structured log lands in
-//       a file — both readable by `wimi_obs summarize`.
+//       a file — both readable by `wimi_obs summarize`. --trace-out
+//       writes the daemon-side Chrome trace at exit (request/engine
+//       spans parent under the trace ids traced clients send on the
+//       wire). --flight-capacity sizes the flight-recorder ring (0
+//       disables it); --flight-snapshot auto-dumps the ring there on
+//       overload/error bursts.
 //
 //   wimi_serve ping --socket <path>
 //       Liveness probe; prints the serving model digest.
 //
 //   wimi_serve predict --socket <path> [--env hall|lab|library]
-//              [--seed S] [--count K]
+//              [--seed S] [--count K] [--trace-out trace.json]
 //       Simulates K measurement captures (cycling the standard liquid
 //       set) and classifies each over the socket — the quickstart
 //       client for a daemon serving a `wimi_model train` artifact.
+//       With --trace-out each predict runs inside a client-side span
+//       whose trace id crosses the socket; merge the resulting file
+//       with the daemon's --trace-out via `wimi_obs trace-check a b
+//       --require-shared-trace`.
 //
 //   wimi_serve swap <model.wmdl> --socket <path>
 //       Hot-swaps the serving model; in-flight batches finish on the
 //       old one.
+//
+//   wimi_serve stats --socket <path>
+//       Prints the daemon's wimi.stats.v1 document: uptime, serving
+//       digest, DaemonStats counters, embedded wimi.metrics.v1.
+//
+//   wimi_serve health --socket <path>
+//       Prints the daemon's wimi.health.v1 readiness/liveness document;
+//       exit 0 only when ready.
+//
+//   wimi_serve dump-flight --socket <path> [--out flight.jsonl]
+//       Fetches the daemon's flight-recorder ring as wimi.flight.v1
+//       JSONL (stdout or --out); pretty-print with `wimi_obs flight`.
 //
 //   wimi_serve stop --socket <path>
 //       Asks the daemon to drain and exit.
@@ -36,11 +58,14 @@
 #include <thread>
 #include <vector>
 
+#include <fstream>
+
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "obs/exporter.hpp"
 #include "obs/log.hpp"
 #include "obs/obs.hpp"
+#include "obs/report.hpp"
 #include "obs/run_context.hpp"
 #include "rf/environment.hpp"
 #include "rf/material.hpp"
@@ -61,6 +86,10 @@ struct Options {
     std::string telemetry_out;
     std::uint64_t telemetry_interval_ms = 1000;
     std::string run_out;
+    std::string trace_out;
+    std::string flight_snapshot;
+    std::size_t flight_capacity = 1024;
+    std::string out;
     std::string env = "lab";
     std::uint64_t seed = 7;
     std::size_t count = 12;
@@ -92,6 +121,14 @@ Options parse_options(int argc, char** argv, int first_flag) {
                    "--telemetry-interval-ms must be >= 1");
         } else if (flag == "--run-out") {
             options.run_out = value;
+        } else if (flag == "--trace-out") {
+            options.trace_out = value;
+        } else if (flag == "--flight-snapshot") {
+            options.flight_snapshot = value;
+        } else if (flag == "--flight-capacity") {
+            options.flight_capacity = std::stoul(value);
+        } else if (flag == "--out") {
+            options.out = value;
         } else if (flag == "--env") {
             options.env = value;
         } else if (flag == "--seed") {
@@ -147,6 +184,8 @@ int cmd_start(const std::string& model_path, const Options& options) {
     daemon_options.max_queue = options.max_queue;
     daemon_options.max_batch = options.max_batch;
     daemon_options.batch_threads = options.threads;
+    daemon_options.flight.capacity = options.flight_capacity;
+    daemon_options.flight.snapshot_path = options.flight_snapshot;
     serve::Daemon daemon(daemon_options);
 
     std::unique_ptr<obs::TelemetryExporter> exporter;
@@ -182,6 +221,9 @@ int cmd_start(const std::string& model_path, const Options& options) {
     run.note("requests", static_cast<double>(stats.requests));
     run.note("batches", static_cast<double>(stats.batches));
     run.append_to_default_ledger(options.run_out);
+    if (!options.trace_out.empty()) {
+        obs::write_chrome_trace(options.trace_out);
+    }
     std::cout << "wimi_serve: drained and stopped (" << stats.requests
               << " requests, " << stats.batches << " batches, max batch "
               << stats.max_batch_size << ", " << stats.rejected_overload
@@ -203,6 +245,12 @@ int cmd_ping(const Options& options) {
 }
 
 int cmd_predict(const Options& options) {
+    // --trace-out turns on client-side tracing: each predict runs under
+    // a span, so the ServeClient stamps its trace id on the wire and the
+    // daemon-side spans for these requests share it.
+    if (!options.trace_out.empty()) {
+        obs::set_enabled(true);
+    }
     sim::ScenarioConfig scenario_config;
     scenario_config.environment = parse_environment(options.env);
     const sim::Scenario scenario(scenario_config);
@@ -216,8 +264,12 @@ int cmd_predict(const Options& options) {
         const rf::Liquid liquid = liquids[i % liquids.size()];
         const sim::MeasurementPair measurement =
             scenario.capture_measurement(liquid, options.seed + i);
-        const serve::ClientResult result = client.predict_series(
-            measurement.baseline, measurement.target);
+        serve::ClientResult result;
+        {
+            WIMI_TRACE_SPAN("serve.cli.predict");
+            result = client.predict_series(measurement.baseline,
+                                           measurement.target);
+        }
         std::string predicted = "-";
         if (result.ok()) {
             ++ok;
@@ -234,6 +286,9 @@ int cmd_predict(const Options& options) {
     table.print(std::cout);
     std::cout << ok << "/" << options.count << " answered, " << agree
               << " matched the poured liquid\n";
+    if (!options.trace_out.empty()) {
+        obs::write_chrome_trace(options.trace_out);
+    }
     return ok == options.count ? 0 : 1;
 }
 
@@ -247,6 +302,57 @@ int cmd_swap(const std::string& model_path, const Options& options) {
     }
     std::cout << "swap: ok (now serving digest " << result.model_digest
               << ")\n";
+    return 0;
+}
+
+int cmd_stats(const Options& options) {
+    serve::ServeClient client(options.socket_path);
+    const serve::ClientResult result = client.stats();
+    if (!result.ok()) {
+        std::cout << "stats: " << serve::wire::status_name(result.status)
+                  << " (" << result.message << ")\n";
+        return 1;
+    }
+    std::cout << result.payload << '\n';
+    return 0;
+}
+
+int cmd_health(const Options& options) {
+    serve::ServeClient client(options.socket_path);
+    const serve::ClientResult result = client.health();
+    if (!result.ok()) {
+        std::cout << "health: " << serve::wire::status_name(result.status)
+                  << " (" << result.message << ")\n";
+        return 1;
+    }
+    std::cout << result.payload << '\n';
+    // A live daemon that is draining (or never finished start()) answers
+    // but is not ready for new work — surface that in the exit code so
+    // `wimi_serve health` works as a readiness probe.
+    const bool ready =
+        result.payload.find("\"ready\":true") != std::string::npos;
+    return ready ? 0 : 1;
+}
+
+int cmd_dump_flight(const Options& options) {
+    serve::ServeClient client(options.socket_path);
+    const serve::ClientResult result = client.dump_flight();
+    if (!result.ok()) {
+        std::cout << "dump-flight: "
+                  << serve::wire::status_name(result.status) << " ("
+                  << result.message << ")\n";
+        return 1;
+    }
+    if (options.out.empty()) {
+        std::cout << result.payload;
+        return 0;
+    }
+    std::ofstream out(options.out, std::ios::binary | std::ios::trunc);
+    ensure(out.is_open(), "cannot open " + options.out);
+    out << result.payload;
+    ensure(out.good(), "failed writing " + options.out);
+    std::cout << "dump-flight: wrote " << result.payload.size()
+              << " bytes to " << options.out << '\n';
     return 0;
 }
 
@@ -268,11 +374,15 @@ int usage() {
         << "  wimi_serve start <model.wmdl> --socket <path>"
         << " [--max-queue N] [--max-batch N] [--threads T]"
         << " [--log-out f] [--telemetry-out f] [--telemetry-interval-ms N]"
-        << " [--run-out ledger.jsonl]\n"
+        << " [--run-out ledger.jsonl] [--trace-out trace.json]"
+        << " [--flight-capacity N] [--flight-snapshot f.jsonl]\n"
         << "  wimi_serve ping --socket <path>\n"
         << "  wimi_serve predict --socket <path> [--env hall|lab|library]"
-        << " [--seed S] [--count K]\n"
+        << " [--seed S] [--count K] [--trace-out trace.json]\n"
         << "  wimi_serve swap <model.wmdl> --socket <path>\n"
+        << "  wimi_serve stats --socket <path>\n"
+        << "  wimi_serve health --socket <path>\n"
+        << "  wimi_serve dump-flight --socket <path> [--out f.jsonl]\n"
         << "  wimi_serve stop --socket <path>\n";
     return 2;
 }
@@ -296,6 +406,15 @@ int main(int argc, char** argv) {
         }
         if (command == "swap" && argc >= 3) {
             return cmd_swap(argv[2], parse_options(argc, argv, 3));
+        }
+        if (command == "stats") {
+            return cmd_stats(parse_options(argc, argv, 2));
+        }
+        if (command == "health") {
+            return cmd_health(parse_options(argc, argv, 2));
+        }
+        if (command == "dump-flight") {
+            return cmd_dump_flight(parse_options(argc, argv, 2));
         }
         if (command == "stop") {
             return cmd_stop(parse_options(argc, argv, 2));
