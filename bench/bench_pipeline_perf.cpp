@@ -25,6 +25,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,7 @@
 #include "common/rng.hpp"
 #include "core/amplitude_denoising.hpp"
 #include "core/material_feature.hpp"
+#include "core/streaming_feature.hpp"
 #include "core/subcarrier_selection.hpp"
 #include "core/wimi.hpp"
 #include "csi/soa.hpp"
@@ -44,6 +46,7 @@
 #include "sim/harness.hpp"
 #include "sim/scenario.hpp"
 #include "simd/simd.hpp"
+#include "stream/pipeline.hpp"
 
 namespace {
 
@@ -272,7 +275,8 @@ TelemetryBench run_telemetry_microbench() {
 /// the overhead percentage (positive = obs-on is slower). `simd_json` is
 /// the SIMD A/B object appended to the same report.
 double run_obs_overhead_comparison(const char* report_path,
-                                   const std::string& simd_json) {
+                                   const std::string& simd_json,
+                                   const std::string& stream_json) {
     const auto& scenario = lab_scenario();
     core::Wimi wimi;
     wimi.calibrate(scenario.capture_reference(5));
@@ -366,14 +370,15 @@ double run_obs_overhead_comparison(const char* report_path,
                      "\"exporter_flush_us_mean\":%.3f,"
                      "\"exporter_seq_monotonic\":%s,"
                      "\"exporter_lines_valid\":%s,"
-                     "\"simd\":%s}\n",
+                     "\"simd\":%s,"
+                     "\"stream\":%s}\n",
                      compiled_in ? "true" : "false", rate_on, rate_off,
                      overhead_percent, telemetry.log_lines_per_s,
                      telemetry.log_valid_jsonl ? "true" : "false",
                      telemetry.exporter_flush_us_mean,
                      telemetry.exporter_seq_monotonic ? "true" : "false",
                      telemetry.exporter_lines_valid ? "true" : "false",
-                     simd_json.c_str());
+                     simd_json.c_str(), stream_json.c_str());
         std::fclose(out);
         std::cout << "report:              " << report_path << '\n';
     } else {
@@ -604,6 +609,181 @@ std::string simd_ab_json(const std::vector<SimdSpanResult>& spans) {
     return json;
 }
 
+/// Streaming-vs-batch identification phase (DESIGN.md §13): the same
+/// window/hop schedule executed by the StreamingPipeline (cached
+/// baseline SoA, recycled window buffer) and by naive per-window batch
+/// identify (Wimi::features re-transposes the baseline every window).
+/// The timing columns are machine-dependent and ignored by the rules;
+/// the two parity booleans — full-window bit-identity and per-window
+/// bit-identity against batch extraction on the materialized subseries
+/// — are gated at zero tolerance by pipeline_perf.json.
+struct StreamBenchResult {
+    std::size_t frames = 0;
+    std::size_t window = 0;
+    std::size_t hop = 0;
+    std::uint64_t windows = 0;
+    double stream_frames_per_s = 0.0;
+    double batch_frames_per_s = 0.0;
+    bool full_window_parity = false;
+    bool sliding_window_parity = false;
+};
+
+StreamBenchResult run_stream_vs_batch() {
+    StreamBenchResult result;
+    result.frames = 2048;
+    result.window = 64;
+    result.hop = 16;
+
+    const auto& scenario = lab_scenario();
+    core::Wimi wimi;
+    wimi.calibrate(scenario.capture_reference(5));
+    Rng rng(11);
+    for (const rf::Liquid liquid :
+         {rf::Liquid::kPureWater, rf::Liquid::kMilk, rf::Liquid::kHoney}) {
+        for (int rep = 0; rep < 6; ++rep) {
+            const auto m =
+                scenario.capture_measurement(liquid, rng.next_u64());
+            wimi.enroll(rf::liquid_name(liquid), m.baseline, m.target);
+        }
+    }
+    wimi.train();
+    const auto unknown =
+        scenario.capture_measurement(rf::Liquid::kMilk, 999);
+
+    // Full-window parity: window == trace length, hop 0 — one window,
+    // bit-identical features and the same verdict as batch identify.
+    {
+        stream::StreamConfig config;
+        config.window = unknown.target.packet_count();
+        config.hop = 0;
+        stream::StreamingPipeline pipeline(
+            config, core::make_window_extractor(wimi, unknown.baseline),
+            stream::make_classifier(wimi));
+        std::optional<stream::WindowResult> window;
+        for (const csi::CsiFrame& frame : unknown.target.frames) {
+            if (auto emitted = pipeline.push(frame)) {
+                window = std::move(emitted);
+            }
+        }
+        const auto batch = wimi.identify(unknown.baseline, unknown.target);
+        result.full_window_parity = window.has_value() &&
+                                    window->features == batch.features &&
+                                    window->raw_label == batch.material_id;
+    }
+
+    // A long stream: the capture's frames cycled out to `frames` with
+    // monotonic timestamps, like a monitor sitting on one material.
+    csi::CsiSeries long_stream;
+    long_stream.frames.reserve(result.frames);
+    for (std::size_t i = 0; i < result.frames; ++i) {
+        csi::CsiFrame frame =
+            unknown.target.frames[i % unknown.target.packet_count()];
+        frame.timestamp_s = 0.01 * static_cast<double>(i);
+        long_stream.frames.push_back(std::move(frame));
+    }
+
+    stream::StreamConfig config;
+    config.window = result.window;
+    config.hop = result.hop;
+    stream::StreamingPipeline pipeline(
+        config, core::make_window_extractor(wimi, unknown.baseline),
+        stream::make_classifier(wimi));
+
+    // Untimed verification pass: every emitted window bit-identical to
+    // batch extraction over the materialized subseries.
+    result.sliding_window_parity = true;
+    for (const csi::CsiFrame& frame : long_stream.frames) {
+        if (auto emitted = pipeline.push(frame)) {
+            csi::CsiSeries sub;
+            sub.frames.assign(
+                long_stream.frames.begin() +
+                    static_cast<std::ptrdiff_t>(emitted->first_frame),
+                long_stream.frames.begin() +
+                    static_cast<std::ptrdiff_t>(emitted->first_frame +
+                                                emitted->frame_count));
+            if (emitted->features !=
+                wimi.features(unknown.baseline, sub)) {
+                result.sliding_window_parity = false;
+            }
+        }
+    }
+    result.windows = pipeline.windows_emitted();
+
+    // Timed arms, best of rounds (same noise rejection as the other
+    // comparisons). Streaming: push every frame through the pipeline.
+    constexpr int kRounds = 3;
+    double stream_best_s = std::numeric_limits<double>::infinity();
+    for (int round = 0; round < kRounds; ++round) {
+        pipeline.reset();
+        const auto t0 = std::chrono::steady_clock::now();
+        for (const csi::CsiFrame& frame : long_stream.frames) {
+            benchmark::DoNotOptimize(pipeline.push(frame));
+        }
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - t0;
+        stream_best_s = std::min(stream_best_s, elapsed.count());
+    }
+    result.stream_frames_per_s =
+        static_cast<double>(result.frames) / stream_best_s;
+
+    // Batch: the identical schedule, each window materialized fresh and
+    // pushed through the whole-series entry points.
+    double batch_best_s = std::numeric_limits<double>::infinity();
+    for (int round = 0; round < kRounds; ++round) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t start = 0;
+             start + result.window <= result.frames;
+             start += result.hop) {
+            csi::CsiSeries sub;
+            sub.frames.assign(
+                long_stream.frames.begin() +
+                    static_cast<std::ptrdiff_t>(start),
+                long_stream.frames.begin() +
+                    static_cast<std::ptrdiff_t>(start + result.window));
+            const auto features = wimi.features(unknown.baseline, sub);
+            benchmark::DoNotOptimize(wimi.identify_features(features));
+        }
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - t0;
+        batch_best_s = std::min(batch_best_s, elapsed.count());
+    }
+    result.batch_frames_per_s =
+        static_cast<double>(result.frames) / batch_best_s;
+
+    std::cout << "\n--- streaming vs batch (window " << result.window
+              << ", hop " << result.hop << ", " << result.frames
+              << " frames, " << result.windows << " windows) ---\n"
+              << "stream frames/s:   " << result.stream_frames_per_s << '\n'
+              << "batch frames/s:    " << result.batch_frames_per_s << '\n'
+              << "stream/batch:      "
+              << result.stream_frames_per_s / result.batch_frames_per_s
+              << "x\n"
+              << "full-window parity:    "
+              << (result.full_window_parity ? "ok" : "MISMATCH") << '\n'
+              << "sliding-window parity: "
+              << (result.sliding_window_parity ? "ok" : "MISMATCH")
+              << '\n';
+    return result;
+}
+
+/// JSON fragment `"stream":{...}` for the BENCH_pipeline.json report.
+std::string stream_bench_json(const StreamBenchResult& result) {
+    char buffer[512];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "{\"frames\":%zu,\"window\":%zu,\"hop\":%zu,\"windows\":%llu,"
+        "\"stream_frames_per_s\":%.1f,\"batch_frames_per_s\":%.1f,"
+        "\"stream_vs_batch\":%.4f,\"full_window_parity\":%s,"
+        "\"sliding_window_parity\":%s}",
+        result.frames, result.window, result.hop,
+        static_cast<unsigned long long>(result.windows),
+        result.stream_frames_per_s, result.batch_frames_per_s,
+        result.stream_frames_per_s / result.batch_frames_per_s,
+        result.full_window_parity ? "true" : "false",
+        result.sliding_window_parity ? "true" : "false");
+    return buffer;
+}
+
 /// True when both experiment results are bit-identical (exact doubles,
 /// exact confusion counts) — the exec determinism contract.
 bool results_identical(const sim::ExperimentResult& a,
@@ -775,8 +955,10 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     const auto simd_spans = run_simd_ab();
+    const StreamBenchResult stream_bench = run_stream_vs_batch();
     const double overhead = run_obs_overhead_comparison(
-        "BENCH_pipeline.json", simd_ab_json(simd_spans));
+        "BENCH_pipeline.json", simd_ab_json(simd_spans),
+        stream_bench_json(stream_bench));
     run.context.note("obs_overhead_percent", overhead);
     run_parallel_scaling("BENCH_parallel.json");
     return 0;

@@ -1,0 +1,64 @@
+#include "core/streaming_feature.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/wimi.hpp"
+
+namespace wimi::core {
+
+WindowFeatureExtractor::WindowFeatureExtractor(
+    csi::CsiSeries baseline, std::vector<AntennaPair> pairs,
+    std::vector<std::size_t> subcarriers, FeatureConfig config)
+    : baseline_(std::move(baseline)),
+      baseline_soa_(baseline_),
+      pairs_(std::move(pairs)),
+      subcarriers_(std::move(subcarriers)),
+      config_(config) {
+    ensure(!baseline_.empty(),
+           "WindowFeatureExtractor: baseline must have >= 1 packet");
+    ensure(!pairs_.empty(), "WindowFeatureExtractor: need >= 1 antenna pair");
+    ensure(!subcarriers_.empty(),
+           "WindowFeatureExtractor: need >= 1 subcarrier");
+}
+
+std::vector<double> WindowFeatureExtractor::extract(
+    const csi::CsiSeries& window) const {
+    // Same two-SoA shape as the series overload of extract_feature_vector,
+    // with the baseline side cached: bit-identical output.
+    return extract_feature_vector(baseline_soa_, csi::CsiSoa(window), pairs_,
+                                  subcarriers_, config_);
+}
+
+WindowFeatureExtractor make_window_extractor(const Wimi& wimi,
+                                             csi::CsiSeries baseline) {
+    ensure(wimi.calibrated(),
+           "make_window_extractor: Wimi instance is not calibrated");
+    return WindowFeatureExtractor(std::move(baseline), wimi.pairs(),
+                                  wimi.subcarriers(),
+                                  wimi.config().feature);
+}
+
+double RunningPhaseCalibration::mean() const {
+    ensure(count_ > 0, "RunningPhaseCalibration::mean: no samples");
+    return std::atan2(sin_sum_, cos_sum_);
+}
+
+double RunningPhaseCalibration::resultant_length() const {
+    ensure(count_ > 0,
+           "RunningPhaseCalibration::resultant_length: no samples");
+    const double n = static_cast<double>(count_);
+    const double r =
+        std::sqrt(sin_sum_ * sin_sum_ + cos_sum_ * cos_sum_) / n;
+    return r > 1.0 ? 1.0 : r;
+}
+
+double RunningPhaseCalibration::stddev() const {
+    const double r = resultant_length();
+    if (r <= 0.0) {
+        return std::sqrt(-2.0 * std::log(1e-12));
+    }
+    return std::sqrt(-2.0 * std::log(r));
+}
+
+}  // namespace wimi::core

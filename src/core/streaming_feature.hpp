@@ -1,0 +1,116 @@
+// Incremental entry points for the streaming pipeline (DESIGN.md §13).
+//
+// The batch path recomputes everything from two whole CsiSeries per
+// identify() call. A sliding-window stream re-evaluates the same fixed
+// baseline against a different target window every hop, so two pieces of
+// state are worth keeping across windows:
+//
+//   * WindowFeatureExtractor — the baseline's structure-of-arrays
+//     transpose (and its lazily cached amplitude planes) is built once
+//     and reused for every window. Per window only the target SoA is
+//     built. Numeric contract: extract() is bit-identical to
+//     core::extract_feature_vector(baseline, window, ...) — the series
+//     overload builds exactly these two SoAs per call — and therefore to
+//     Wimi::features on the same inputs.
+//
+//   * RunningPhaseCalibration — O(1)-per-packet circular accumulator for
+//     a phase-difference stream (sum of unit phasors). The windowed
+//     pipeline uses it to track the Eq. 7 calibration residual
+//     continuously without re-scanning the window, the streaming analog
+//     of the batch `quality.calib.residual_deg` probe. It is an
+//     *accumulator* (resettable per window), not a bit-parity surface:
+//     incremental summation orders floating-point adds differently from
+//     the batch circular_mean, so its outputs are quality telemetry,
+//     never feature inputs.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/material_feature.hpp"
+#include "core/phase_calibration.hpp"
+#include "csi/frame.hpp"
+#include "csi/soa.hpp"
+
+namespace wimi::core {
+
+class Wimi;
+
+/// Fixed-baseline, per-window feature extraction with the baseline SoA
+/// cached across windows.
+class WindowFeatureExtractor {
+public:
+    /// Copies `baseline` (the stream outlives any caller scope) and
+    /// transposes it once. Throws on an empty baseline or empty
+    /// pairs/subcarriers.
+    WindowFeatureExtractor(csi::CsiSeries baseline,
+                           std::vector<AntennaPair> pairs,
+                           std::vector<std::size_t> subcarriers,
+                           FeatureConfig config);
+
+    /// Feature vector for one target window — bit-identical to the batch
+    /// extract_feature_vector(baseline, window, pairs, subcarriers,
+    /// config) call on the same frames.
+    std::vector<double> extract(const csi::CsiSeries& window) const;
+
+    const std::vector<AntennaPair>& pairs() const { return pairs_; }
+    const std::vector<std::size_t>& subcarriers() const {
+        return subcarriers_;
+    }
+    const FeatureConfig& config() const { return config_; }
+    const csi::CsiSeries& baseline() const { return baseline_; }
+
+private:
+    csi::CsiSeries baseline_;
+    csi::CsiSoa baseline_soa_;
+    std::vector<AntennaPair> pairs_;
+    std::vector<std::size_t> subcarriers_;
+    FeatureConfig config_;
+};
+
+/// Builds an extractor from a calibrated Wimi instance: same pairs,
+/// subcarriers, and feature settings the facade's identify() would use,
+/// so streaming decisions match batch decisions. Throws unless
+/// wimi.calibrated().
+WindowFeatureExtractor make_window_extractor(const Wimi& wimi,
+                                             csi::CsiSeries baseline);
+
+/// O(1)-per-sample circular statistics over an angle stream (phase
+/// differences): unit-phasor sum with count.
+class RunningPhaseCalibration {
+public:
+    /// Folds one angle [rad] into the accumulator.
+    void add(double angle_rad) {
+        sin_sum_ += std::sin(angle_rad);
+        cos_sum_ += std::cos(angle_rad);
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+
+    /// Circular mean [rad]; requires count() >= 1.
+    double mean() const;
+
+    /// Mean resultant length R in [0, 1]; requires count() >= 1.
+    double resultant_length() const;
+
+    /// Circular standard deviation sqrt(-2 ln R) [rad]; requires
+    /// count() >= 1. This is the streaming Eq. 7-style residual.
+    double stddev() const;
+
+    /// Starts a fresh window.
+    void reset() {
+        sin_sum_ = 0.0;
+        cos_sum_ = 0.0;
+        count_ = 0;
+    }
+
+private:
+    double sin_sum_ = 0.0;
+    double cos_sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+}  // namespace wimi::core

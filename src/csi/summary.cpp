@@ -1,0 +1,74 @@
+#include "csi/summary.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+
+#include "common/error.hpp"
+
+namespace wimi::csi {
+namespace {
+
+/// Minimal Welford accumulator (mean + population variance). Local so
+/// the summarizer does not pull the dsp library into wimi_csi.
+struct Welford {
+    std::uint64_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+
+    void add(double x) {
+        ++n;
+        const double delta = x - mean;
+        mean += delta / static_cast<double>(n);
+        m2 += delta * (x - mean);
+    }
+
+    double stddev() const {
+        return n > 0 ? std::sqrt(m2 / static_cast<double>(n)) : 0.0;
+    }
+};
+
+}  // namespace
+
+TraceSummary summarize_trace(std::istream& stream,
+                             const TraceReadOptions& options) {
+    TraceReader reader(stream, options);
+    TraceSummary summary;
+
+    std::vector<Welford> amplitude(reader.antenna_count());
+    std::vector<Welford> rssi(reader.antenna_count());
+    while (auto frame = reader.next()) {
+        if (summary.packets == 0) {
+            summary.first_timestamp_s = frame->timestamp_s;
+        }
+        summary.last_timestamp_s = frame->timestamp_s;
+        ++summary.packets;
+        for (std::size_t a = 0; a < amplitude.size(); ++a) {
+            for (std::size_t k = 0; k < frame->subcarrier_count(); ++k) {
+                amplitude[a].add(frame->amplitude(a, k));
+            }
+            rssi[a].add(frame->rssi_dbm);
+        }
+    }
+    summary.report = reader.report();
+
+    summary.antennas.resize(amplitude.size());
+    for (std::size_t a = 0; a < amplitude.size(); ++a) {
+        if (amplitude[a].n > 0) {
+            summary.antennas[a].amplitude_mean = amplitude[a].mean;
+            summary.antennas[a].amplitude_stddev = amplitude[a].stddev();
+            summary.antennas[a].rssi_mean = rssi[a].mean;
+        }
+    }
+    return summary;
+}
+
+TraceSummary summarize_trace_file(const std::filesystem::path& path,
+                                  const TraceReadOptions& options) {
+    std::ifstream in(path, std::ios::binary);
+    ensure(in.is_open(),
+           "summarize_trace_file: cannot open " + path.string());
+    return summarize_trace(in, options);
+}
+
+}  // namespace wimi::csi

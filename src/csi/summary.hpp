@@ -1,0 +1,53 @@
+// Bounded-memory trace summarization.
+//
+// `csi_trace_tool info` (and anything else that only wants header facts
+// and per-antenna aggregate statistics) used to call read_trace_file and
+// materialize the whole series — O(frames) memory for an answer that is
+// O(antennas). summarize_trace streams the container through TraceReader
+// frame by frame and folds each frame into Welford accumulators, so a
+// multi-gigabyte capture summarizes in ring-buffer memory: one frame
+// record plus the per-antenna aggregates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <vector>
+
+#include "csi/trace_io.hpp"
+
+namespace wimi::csi {
+
+/// Aggregate statistics for one receiver antenna over a whole trace.
+struct AntennaSummary {
+    double amplitude_mean = 0.0;    ///< mean |H| over (packet, subcarrier)
+    double amplitude_stddev = 0.0;  ///< population stddev of |H|
+    double rssi_mean = 0.0;         ///< mean per-packet RSSI
+};
+
+/// What one streaming pass over a trace recovers.
+struct TraceSummary {
+    TraceReadReport report;  ///< header facts + damage accounting
+    std::uint64_t packets = 0;
+    double first_timestamp_s = 0.0;
+    double last_timestamp_s = 0.0;
+    std::vector<AntennaSummary> antennas;
+
+    /// last - first packet timestamp (0 when fewer than 2 packets).
+    double duration_s() const {
+        return packets >= 2 ? last_timestamp_s - first_timestamp_s : 0.0;
+    }
+};
+
+/// Streams `stream` under `options.policy` and returns the aggregates.
+/// Memory is O(antennas + one frame record) regardless of trace length.
+/// Under kStrict damaged input throws exactly like read_trace.
+TraceSummary summarize_trace(std::istream& stream,
+                             const TraceReadOptions& options = {});
+
+/// File convenience wrapper.
+TraceSummary summarize_trace_file(const std::filesystem::path& path,
+                                  const TraceReadOptions& options = {});
+
+}  // namespace wimi::csi

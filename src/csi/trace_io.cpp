@@ -129,6 +129,87 @@ void write_trace_file(const std::filesystem::path& path,
     write_trace(out, series, options);
 }
 
+// --- streaming writer ---------------------------------------------------
+
+TraceWriter::TraceWriter(const std::filesystem::path& path,
+                         std::size_t antenna_count,
+                         std::size_t subcarrier_count)
+    : antennas_(antenna_count), subcarriers_(subcarrier_count) {
+    ensure(antenna_count >= 1 && subcarrier_count >= 1,
+           "TraceWriter: dimensions must be >= 1");
+    ensure(antenna_count <= kMaxDimension &&
+               subcarrier_count <= kMaxDimension,
+           "TraceWriter: dimensions exceed the format cap");
+    stream_.open(path, std::ios::binary | std::ios::trunc);
+    ensure(stream_.is_open(),
+           "TraceWriter: cannot open " + path.string());
+    open_ = true;
+    stamp_header();
+    ensure(static_cast<bool>(stream_), "TraceWriter: header write failed");
+}
+
+TraceWriter::~TraceWriter() {
+    if (open_) {
+        stream_.flush();  // best effort; close() reports failures
+    }
+}
+
+/// (Re)writes the v2 header in place with the current frame count. The
+/// header is fixed-size, so the stamp is a seek + 32-byte write; the
+/// write cursor is restored to the end afterwards.
+void TraceWriter::stamp_header() {
+    std::vector<unsigned char> header;
+    header.reserve(kHeaderBytesV2);
+    header.insert(header.end(), kMagic.begin(), kMagic.end());
+    put_u32_le(header, kTraceVersion2);
+    put_u32_le(header, kByteOrderMarker);
+    put_u32_le(header, static_cast<std::uint32_t>(antennas_));
+    put_u32_le(header, static_cast<std::uint32_t>(subcarriers_));
+    put_u64_le(header, frames_written_);
+    put_u32_le(header, crc32(header.data(), header.size()));
+    stream_.seekp(0);
+    stream_.write(reinterpret_cast<const char*>(header.data()),
+                  static_cast<std::streamsize>(header.size()));
+    stream_.seekp(0, std::ios::end);
+}
+
+void TraceWriter::append(const CsiFrame& frame) {
+    ensure(open_, "TraceWriter::append: writer is closed");
+    ensure(frame.antenna_count() == antennas_ &&
+               frame.subcarrier_count() == subcarriers_,
+           "TraceWriter::append: frame geometry mismatch");
+    ensure(frame.is_finite(),
+           "TraceWriter::append: non-finite CSI values");
+    std::vector<unsigned char> record;
+    record.reserve(16 + antennas_ * subcarriers_ * 16 + 4);
+    put_f64_le(record, frame.timestamp_s);
+    put_f64_le(record, frame.rssi_dbm);
+    for (const Complex& h : frame.raw()) {
+        put_f64_le(record, h.real());
+        put_f64_le(record, h.imag());
+    }
+    put_u32_le(record, crc32(record.data(), record.size()));
+    stream_.write(reinterpret_cast<const char*>(record.data()),
+                  static_cast<std::streamsize>(record.size()));
+    ++frames_written_;
+    stamp_header();
+    // Push the completed record to the OS so a tailing reader observes
+    // whole frames, not a buffered prefix.
+    stream_.flush();
+    ensure(static_cast<bool>(stream_),
+           "TraceWriter::append: stream failure");
+}
+
+void TraceWriter::close() {
+    if (!open_) {
+        return;
+    }
+    stream_.flush();
+    ensure(static_cast<bool>(stream_), "TraceWriter::close: flush failed");
+    stream_.close();
+    open_ = false;
+}
+
 // --- streaming reader ---------------------------------------------------
 
 TraceReader::TraceReader(std::istream& stream, TraceReadOptions options)

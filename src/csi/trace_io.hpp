@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <iosfwd>
 #include <optional>
 #include <vector>
@@ -132,6 +133,49 @@ CsiSeries read_trace(std::istream& stream,
 CsiSeries read_trace_file(const std::filesystem::path& path,
                           const TraceReadOptions& options = {},
                           TraceReadReport* report = nullptr);
+
+/// Streaming frame-at-a-time writer: the producer-side dual of
+/// TraceReader, for recorders that do not hold the whole series in
+/// memory (and for monitors that *tail* the file while it grows).
+///
+/// The constructor writes a v2 header declaring 0 frames; append()
+/// serializes one frame record and then re-stamps the header's frame
+/// count (+ header CRC), so the file on disk is a complete, valid WCSI
+/// v2 container after every append — a reader that opens it mid-growth
+/// sees exactly the frames that have fully landed. close() flushes and
+/// detaches; the destructor closes silently.
+class TraceWriter {
+public:
+    /// Opens `path` (truncating) and writes the v2 header for the given
+    /// geometry with frame_count = 0. Throws wimi::Error on I/O failure
+    /// or zero dimensions.
+    TraceWriter(const std::filesystem::path& path,
+                std::size_t antenna_count, std::size_t subcarrier_count);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter&) = delete;
+    TraceWriter& operator=(const TraceWriter&) = delete;
+
+    /// Appends one frame and re-stamps the header so the file stays a
+    /// valid container. Throws on geometry mismatch, non-finite values,
+    /// I/O failure, or a closed writer.
+    void append(const CsiFrame& frame);
+
+    /// Frames appended so far.
+    std::uint64_t frames_written() const { return frames_written_; }
+
+    /// Final flush; the writer cannot append afterwards. Idempotent.
+    void close();
+
+private:
+    void stamp_header();
+
+    std::ofstream stream_;
+    std::size_t antennas_ = 0;
+    std::size_t subcarriers_ = 0;
+    std::uint64_t frames_written_ = 0;
+    bool open_ = false;
+};
 
 /// Streaming frame-at-a-time reader over an open stream — the chunked
 /// core read_trace() wraps. Ingestion paths that do not want the whole

@@ -107,6 +107,73 @@ double population_stability_index(const PsiReference& ref,
     return sum / static_cast<double>(psi.size());
 }
 
+OnlinePsiGate::OnlinePsiGate(PsiReference reference, Config config)
+    : ref_(std::move(reference)), config_(config) {
+    ensure(ref_.feature_count() > 0,
+           "OnlinePsiGate: reference has no features");
+    ensure(config_.capacity >= 1, "OnlinePsiGate: capacity must be >= 1");
+    ensure(config_.min_samples >= 1 &&
+               config_.min_samples <= config_.capacity,
+           "OnlinePsiGate: need 1 <= min_samples <= capacity");
+    counts_.resize(ref_.feature_count());
+    for (std::size_t f = 0; f < ref_.feature_count(); ++f) {
+        counts_[f].assign(ref_.proportions[f].size(), 0);
+    }
+}
+
+void OnlinePsiGate::add(std::span<const double> features) {
+    ensure(features.size() == ref_.feature_count(),
+           "OnlinePsiGate::add: feature count mismatch (reference " +
+               std::to_string(ref_.feature_count()) + ", vector " +
+               std::to_string(features.size()) + ")");
+    if (pool_.size() == config_.capacity) {
+        const std::vector<std::uint32_t>& oldest = pool_.front();
+        for (std::size_t f = 0; f < oldest.size(); ++f) {
+            --counts_[f][oldest[f]];
+        }
+        pool_.pop_front();
+    }
+    std::vector<std::uint32_t> bins(features.size());
+    for (std::size_t f = 0; f < features.size(); ++f) {
+        bins[f] =
+            static_cast<std::uint32_t>(bin_of(features[f], ref_.edges[f]));
+        ++counts_[f][bins[f]];
+    }
+    pool_.push_back(std::move(bins));
+    ++total_added_;
+}
+
+double OnlinePsiGate::psi() const {
+    ensure(ready(), "OnlinePsiGate::psi: pool has " +
+                        std::to_string(pool_.size()) + " vectors, need " +
+                        std::to_string(config_.min_samples));
+    const double rows = static_cast<double>(pool_.size());
+    double sum = 0.0;
+    for (std::size_t f = 0; f < ref_.feature_count(); ++f) {
+        const std::vector<double>& ref_props = ref_.proportions[f];
+        double total = 0.0;
+        for (std::size_t b = 0; b < ref_props.size(); ++b) {
+            const double p_cur = std::max(
+                static_cast<double>(counts_[f][b]) / rows, kEpsilon);
+            const double p_ref = std::max(ref_props[b], kEpsilon);
+            total += (p_cur - p_ref) * std::log(p_cur / p_ref);
+        }
+        sum += total;
+    }
+    return sum / static_cast<double>(ref_.feature_count());
+}
+
+bool OnlinePsiGate::drifted() const {
+    return ready() && psi() > config_.threshold;
+}
+
+void OnlinePsiGate::reset() {
+    pool_.clear();
+    for (std::vector<std::uint32_t>& c : counts_) {
+        std::fill(c.begin(), c.end(), 0);
+    }
+}
+
 std::string psi_reference_to_json(const PsiReference& ref) {
     using obs::json::number;
     std::string out = "{\"schema\":\"wimi.psi_ref.v1\",\"sample_count\":";

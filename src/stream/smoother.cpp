@@ -1,0 +1,87 @@
+#include "stream/smoother.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace wimi::stream {
+
+DecisionSmoother::DecisionSmoother(SmootherConfig config) : config_(config) {
+    ensure(config_.vote_window >= 1,
+           "DecisionSmoother: vote_window must be >= 1");
+    ensure(config_.hold >= 1, "DecisionSmoother: hold must be >= 1");
+}
+
+int DecisionSmoother::majority() const {
+    // Labels are small non-negative ints but not necessarily dense;
+    // count over the (tiny) vote window directly.
+    int best = voted_;
+    std::size_t best_count = 0;
+    std::vector<int> seen;
+    seen.reserve(recent_.size());
+    for (const int label : recent_) {
+        if (std::find(seen.begin(), seen.end(), label) != seen.end()) {
+            continue;
+        }
+        seen.push_back(label);
+        const std::size_t count = static_cast<std::size_t>(
+            std::count(recent_.begin(), recent_.end(), label));
+        if (count > best_count ||
+            (count == best_count && label == voted_)) {
+            best = label;
+            best_count = count;
+        }
+    }
+    return best;
+}
+
+SmoothedDecision DecisionSmoother::observe(int raw_label) {
+    ensure(raw_label >= 0, "DecisionSmoother::observe: label must be >= 0");
+    ++observations_;
+    recent_.push_back(raw_label);
+    if (recent_.size() > config_.vote_window) {
+        recent_.pop_front();
+    }
+    voted_ = majority();
+
+    SmoothedDecision decision;
+    decision.raw_label = raw_label;
+    decision.voted_label = voted_;
+
+    if (stable_ < 0) {
+        // First observation seeds the stable label without an event.
+        stable_ = voted_;
+    } else if (voted_ == stable_) {
+        challenger_ = -1;
+        challenge_run_ = 0;
+    } else {
+        if (voted_ == challenger_) {
+            ++challenge_run_;
+        } else {
+            challenger_ = voted_;
+            challenge_run_ = 1;
+        }
+        if (challenge_run_ >= config_.hold) {
+            stable_ = challenger_;
+            challenger_ = -1;
+            challenge_run_ = 0;
+            ++changes_;
+            decision.changed = true;
+        }
+    }
+    decision.stable_label = stable_;
+    return decision;
+}
+
+void DecisionSmoother::reset() {
+    recent_.clear();
+    voted_ = -1;
+    stable_ = -1;
+    challenger_ = -1;
+    challenge_run_ = 0;
+    changes_ = 0;
+    observations_ = 0;
+}
+
+}  // namespace wimi::stream

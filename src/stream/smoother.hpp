@@ -1,0 +1,72 @@
+// Decision smoothing: majority vote + hysteresis over per-window labels.
+//
+// Per-window SVM labels are noisy near class boundaries — a stream
+// sitting on the milk/water margin can alternate labels every window.
+// Raw flips must not become "material changed" events, so the smoother
+// runs two stages:
+//
+//   1. Majority vote over the last `vote_window` raw labels (ties keep
+//      the current voted label), absorbing isolated outlier windows.
+//   2. Hysteresis: the stable label only flips after the vote has
+//      disagreed with it — with one consistent challenger — for `hold`
+//      consecutive windows.
+//
+// Together these bound flip-flop: under adversarial strict alternation
+// (A,B,A,B,...) the vote never produces `hold` consecutive windows of
+// one challenger, so the stable label never changes. A genuine material
+// change (the raw stream switches to the new label and stays) is
+// reported after at most ceil(vote_window/2) + hold windows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace wimi::stream {
+
+struct SmootherConfig {
+    std::size_t vote_window = 5;  ///< raw labels in the majority vote (>=1)
+    std::size_t hold = 2;  ///< consecutive disagreeing votes to flip (>=1)
+};
+
+/// What one observation yields.
+struct SmoothedDecision {
+    int raw_label = -1;     ///< the label just observed
+    int voted_label = -1;   ///< majority over the recent raw labels
+    int stable_label = -1;  ///< hysteresis output
+    bool changed = false;   ///< stable label flipped at this observation
+};
+
+class DecisionSmoother {
+public:
+    explicit DecisionSmoother(SmootherConfig config = {});
+
+    /// Folds one per-window label (>= 0) into the smoother.
+    SmoothedDecision observe(int raw_label);
+
+    /// Current stable label (-1 before the first observation).
+    int stable_label() const { return stable_; }
+
+    /// Stable-label flips so far (the first assignment is not a flip).
+    std::uint64_t changes() const { return changes_; }
+
+    std::uint64_t observations() const { return observations_; }
+
+    const SmootherConfig& config() const { return config_; }
+
+    void reset();
+
+private:
+    int majority() const;
+
+    SmootherConfig config_;
+    std::deque<int> recent_;    ///< last vote_window raw labels
+    int voted_ = -1;
+    int stable_ = -1;
+    int challenger_ = -1;       ///< label currently out-voting stable_
+    std::size_t challenge_run_ = 0;
+    std::uint64_t changes_ = 0;
+    std::uint64_t observations_ = 0;
+};
+
+}  // namespace wimi::stream

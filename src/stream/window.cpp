@@ -1,0 +1,35 @@
+#include "stream/window.hpp"
+
+#include "common/error.hpp"
+
+namespace wimi::stream {
+
+WindowPlanner::WindowPlanner(std::size_t window, std::size_t hop)
+    : window_(window), hop_(hop) {
+    ensure(window_ >= 1, "WindowPlanner: window must be >= 1");
+    ensure(hop_ <= window_,
+           "WindowPlanner: hop must be <= window (windows must overlap "
+           "or tile; gaps would drop frames)");
+}
+
+std::optional<WindowPlan> WindowPlanner::on_frame() {
+    ++frames_seen_;
+    if (frames_seen_ < window_) {
+        return std::nullopt;
+    }
+    if (hop_ == 0) {
+        // Single-shot: only the arrival that completes the first window.
+        if (frames_seen_ != window_) {
+            return std::nullopt;
+        }
+    } else if ((frames_seen_ - window_) % hop_ != 0) {
+        return std::nullopt;
+    }
+    WindowPlan plan;
+    plan.window_index = windows_emitted_++;
+    plan.first_frame = frames_seen_ - window_;
+    plan.frame_count = window_;
+    return plan;
+}
+
+}  // namespace wimi::stream

@@ -1,0 +1,57 @@
+// Window/hop emission schedule for the streaming pipeline.
+//
+// A windowed stream evaluates the newest W frames every H arrivals:
+// the first window fires when W frames have been seen, and another
+// fires each H frames after that, so window j covers global frames
+// [j*H, j*H + W). hop == 0 is the degenerate single-shot schedule used
+// by the batch-parity contract: exactly one window, emitted the moment
+// W frames exist, and nothing after — with W == trace length this makes
+// the stream evaluate precisely the frames the batch pipeline would.
+//
+// The planner is pure bookkeeping (no frames, no buffers): callers push
+// frames into a FrameRing and ask the planner, per arrival, whether a
+// window is due now and which global frame span it covers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+namespace wimi::stream {
+
+/// One scheduled window over the global frame sequence.
+struct WindowPlan {
+    std::uint64_t window_index = 0;  ///< 0-based emission ordinal
+    std::uint64_t first_frame = 0;   ///< global index of oldest frame
+    std::size_t frame_count = 0;     ///< always the configured window
+};
+
+class WindowPlanner {
+public:
+    /// Requires window >= 1 and hop <= window (hop 0 = single-shot).
+    WindowPlanner(std::size_t window, std::size_t hop);
+
+    std::size_t window() const { return window_; }
+    std::size_t hop() const { return hop_; }
+
+    /// Records one frame arrival; returns the window due at this exact
+    /// arrival, if any.
+    std::optional<WindowPlan> on_frame();
+
+    std::uint64_t frames_seen() const { return frames_seen_; }
+    std::uint64_t windows_emitted() const { return windows_emitted_; }
+
+    /// Restarts the schedule from zero frames.
+    void reset() {
+        frames_seen_ = 0;
+        windows_emitted_ = 0;
+    }
+
+private:
+    std::size_t window_;
+    std::size_t hop_;
+    std::uint64_t frames_seen_ = 0;
+    std::uint64_t windows_emitted_ = 0;
+};
+
+}  // namespace wimi::stream

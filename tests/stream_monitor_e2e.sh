@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# End-to-end drill for the streaming identification plane (DESIGN.md
+# §13), against real binaries and a really-growing trace file:
+#
+#   1. start `freshness_monitor record` in the background: it writes
+#      baseline.wcsi, then appends one simulated day of CSI to
+#      target.wcsi at a time (TraceWriter keeps the container valid
+#      after every frame), sleeping between days;
+#   2. run `freshness_monitor follow` in the foreground while the file
+#      is still growing: it rebuilds the same model from shared seeds,
+#      tails target.wcsi (TraceTailer), and streams frames through
+#      StreamingPipeline;
+#   3. assert the monitor reported the injected material change — the
+#      milk souring around day 3 — within the recorded stream
+#      (--expect-change encodes "change seen AND final verdict is
+#      Spoiled milk" in the exit code), and that the change fired
+#      within the expected window budget;
+#   4. assert `csi_trace_tool stream` over the finished trace agrees
+#      (same change, batch-read path instead of the tailer).
+#
+# Usage: stream_monitor_e2e.sh <freshness_monitor> <csi_trace_tool>
+set -euo pipefail
+
+MONITOR=$1
+TRACE_TOOL=$2
+
+WORK=$(mktemp -d /tmp/wimi_stream_e2e.XXXXXX)
+RECORD_PID=""
+cleanup() {
+    if [ -n "$RECORD_PID" ] && kill -0 "$RECORD_PID" 2>/dev/null; then
+        kill "$RECORD_PID" 2>/dev/null || true
+        wait "$RECORD_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+step() { echo "stream_e2e: $*"; }
+
+step "starting recorder (grows target.wcsi day by day)"
+"$MONITOR" record "$WORK" --days 5 --packets 40 --sleep-ms 200 \
+    >"$WORK/record.stdout" 2>&1 &
+RECORD_PID=$!
+
+# Wait for the baseline so the follower can construct its extractor.
+for _ in $(seq 1 100); do
+    [ -s "$WORK/baseline.wcsi" ] && break
+    kill -0 "$RECORD_PID" 2>/dev/null || {
+        cat "$WORK/record.stdout" >&2
+        echo "stream_e2e: recorder died before writing baseline" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+[ -s "$WORK/baseline.wcsi" ] || {
+    echo "stream_e2e: baseline never appeared" >&2
+    exit 1
+}
+
+step "following the growing trace"
+"$MONITOR" follow "$WORK" --window 20 --hop 10 \
+    --idle-timeout-ms 3000 --expect-change >"$WORK/follow.stdout" 2>&1 ||
+    {
+        cat "$WORK/record.stdout" "$WORK/follow.stdout" >&2
+        echo "stream_e2e: follower did not report the material change" >&2
+        exit 1
+    }
+
+wait "$RECORD_PID"
+RECORD_PID=""
+
+step "change detected while the file was growing"
+grep -q 'material change' "$WORK/follow.stdout"
+grep -q 'now Spoiled milk' "$WORK/follow.stdout"
+
+# The spoilage is injected from day 2-3 of 5 (frames 80+ of 200); with
+# window 20 / hop 10 the flip must land within the 19-window stream —
+# i.e. the monitor reported it from the stream, not after the fact.
+step "change landed within the window budget"
+CHANGE_WINDOW=$(sed -n \
+    's/.*material change at t=.*(window \([0-9]*\)).*/\1/p' \
+    "$WORK/follow.stdout" | head -n1)
+[ -n "$CHANGE_WINDOW" ]
+[ "$CHANGE_WINDOW" -ge 7 ] && [ "$CHANGE_WINDOW" -le 18 ]
+
+step "batch re-read agrees (csi_trace_tool stream)"
+"$TRACE_TOOL" verify "$WORK/target.wcsi" >/dev/null
+# The monitor's model is in-process only; the tool's standard-experiment
+# model classifies different classes — what must agree is the *shape*:
+# same frame count and window schedule over the same trace.
+"$TRACE_TOOL" stream "$WORK/target.wcsi" --baseline "$WORK/baseline.wcsi" \
+    --window 20 --hop 10 >"$WORK/tool.stdout"
+grep -q 'stream done: 200 frames, 19 windows' "$WORK/tool.stdout"
+
+step "ok"

@@ -125,6 +125,109 @@ TEST(PsiReference, ParserRejectsMalformedDocuments) {
                  Error);
 }
 
+/// The gate's pooled rows as a Dataset, for batch comparison.
+Dataset pool_as_dataset(const std::vector<std::vector<double>>& rows) {
+    Dataset data(rows.front().size());
+    for (const std::vector<double>& row : rows) {
+        data.add(row, 0);
+    }
+    return data;
+}
+
+std::vector<std::vector<double>> gaussian_rows(std::size_t rows,
+                                               std::size_t features,
+                                               double center,
+                                               std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::vector<double>> out(rows,
+                                         std::vector<double>(features));
+    for (auto& row : out) {
+        for (std::size_t f = 0; f < features; ++f) {
+            row[f] = center + static_cast<double>(f) + rng.gaussian();
+        }
+    }
+    return out;
+}
+
+TEST(OnlinePsiGateTest, MatchesBatchPsiOnIdenticalPoolContents) {
+    const PsiReference ref =
+        make_psi_reference(gaussian_dataset(1000, 3, 0.0, 1.0, 11));
+    const auto rows = gaussian_rows(40, 3, 0.7, 21);
+
+    OnlinePsiGate gate(ref, {64, 8, 0.25});
+    for (const auto& row : rows) {
+        gate.add(row);
+    }
+    ASSERT_TRUE(gate.ready());
+    // Same bins, same epsilon floor, same mean over features: the
+    // streaming counts must reproduce the batch number exactly.
+    EXPECT_EQ(gate.psi(),
+              population_stability_index(ref, pool_as_dataset(rows)));
+}
+
+TEST(OnlinePsiGateTest, EvictionKeepsOnlyTheNewestCapacityRows) {
+    const PsiReference ref =
+        make_psi_reference(gaussian_dataset(1000, 2, 0.0, 1.0, 13));
+    constexpr std::size_t kCapacity = 16;
+    const auto rows = gaussian_rows(kCapacity + 25, 2, 1.5, 23);
+
+    OnlinePsiGate gate(ref, {kCapacity, 4, 0.25});
+    for (const auto& row : rows) {
+        gate.add(row);
+    }
+    EXPECT_EQ(gate.size(), kCapacity);
+    EXPECT_EQ(gate.total_added(), rows.size());
+    // psi() must be computed over exactly the surviving window.
+    const std::vector<std::vector<double>> newest(rows.end() - kCapacity,
+                                                  rows.end());
+    EXPECT_EQ(gate.psi(),
+              population_stability_index(ref, pool_as_dataset(newest)));
+}
+
+TEST(OnlinePsiGateTest, DriftedTracksReadinessAndThreshold) {
+    // Coarse (4-bin) reference: PSI over a pool of dozens of samples is
+    // dominated by the shift, not multinomial sampling noise.
+    const PsiReference ref =
+        make_psi_reference(gaussian_dataset(2000, 3, 0.0, 1.0, 11), 4);
+    OnlinePsiGate gate(ref, {64, 16, 0.25});
+    EXPECT_FALSE(gate.ready());
+    EXPECT_FALSE(gate.drifted());  // never drifted before min_samples
+
+    // In-distribution fill: ready but stable.
+    for (const auto& row : gaussian_rows(64, 3, 0.0, 31)) {
+        gate.add(row);
+    }
+    EXPECT_TRUE(gate.ready());
+    EXPECT_LT(gate.psi(), 0.25);
+    EXPECT_FALSE(gate.drifted());
+
+    // Shifted population floods the pool: the gate must trip.
+    for (const auto& row : gaussian_rows(64, 3, 3.0, 33)) {
+        gate.add(row);
+    }
+    EXPECT_GT(gate.psi(), 0.25);
+    EXPECT_TRUE(gate.drifted());
+
+    gate.reset();
+    EXPECT_EQ(gate.size(), 0u);
+    EXPECT_FALSE(gate.ready());
+    EXPECT_FALSE(gate.drifted());
+}
+
+TEST(OnlinePsiGateTest, RejectsBadConfigsAndMismatchedRows) {
+    const PsiReference ref =
+        make_psi_reference(gaussian_dataset(100, 2, 0.0, 1.0, 17));
+    EXPECT_THROW(OnlinePsiGate(ref, {0, 1, 0.25}), Error);
+    EXPECT_THROW(OnlinePsiGate(ref, {8, 0, 0.25}), Error);
+    EXPECT_THROW(OnlinePsiGate(ref, {8, 9, 0.25}), Error);
+    EXPECT_THROW(OnlinePsiGate(PsiReference{}, {8, 4, 0.25}), Error);
+
+    OnlinePsiGate gate(ref, {8, 4, 0.25});
+    const std::vector<double> short_row = {1.0};
+    EXPECT_THROW(gate.add(short_row), Error);
+    EXPECT_THROW(gate.psi(), Error);  // not ready yet
+}
+
 TEST(PsiReference, FileRoundTrip) {
     const std::string path = testing::TempDir() + "wimi_psi_ref.json";
     const PsiReference ref =

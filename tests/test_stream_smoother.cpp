@@ -1,0 +1,154 @@
+// Decision-smoothing bounds: the two properties DESIGN.md §13 promises.
+//
+//   1. Flip-flop bound — under adversarial strict label alternation
+//      (A,B,A,B,...) the stable label NEVER changes, for any
+//      vote_window with hold >= 2: the vote either stays pinned (even
+//      windows tie toward the incumbent) or alternates itself, so no
+//      challenger accumulates `hold` consecutive votes.
+//   2. Latency bound — a genuine change (the raw stream switches and
+//      stays) is reported within ceil(vote_window / 2) + hold windows
+//      of the switch.
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "stream/smoother.hpp"
+
+namespace wimi {
+namespace {
+
+TEST(DecisionSmoother, RejectsDegenerateConfigsAndLabels) {
+    EXPECT_THROW(stream::DecisionSmoother({0, 2}), Error);
+    EXPECT_THROW(stream::DecisionSmoother({5, 0}), Error);
+    stream::DecisionSmoother smoother;
+    EXPECT_THROW(smoother.observe(-1), Error);
+}
+
+TEST(DecisionSmoother, FirstObservationSeedsWithoutAnEvent) {
+    stream::DecisionSmoother smoother;
+    EXPECT_EQ(smoother.stable_label(), -1);
+    const stream::SmoothedDecision decision = smoother.observe(7);
+    EXPECT_EQ(decision.raw_label, 7);
+    EXPECT_EQ(decision.voted_label, 7);
+    EXPECT_EQ(decision.stable_label, 7);
+    EXPECT_FALSE(decision.changed);
+    EXPECT_EQ(smoother.changes(), 0u);
+    EXPECT_EQ(smoother.observations(), 1u);
+}
+
+TEST(DecisionSmoother, AdversarialAlternationNeverFlips) {
+    const stream::SmootherConfig configs[] = {
+        {1, 2}, {2, 2}, {3, 2}, {4, 2}, {5, 2}, {4, 3}, {7, 3}, {2, 1},
+        {4, 1},  // even vote windows tie toward the incumbent: safe at hold 1
+    };
+    for (const stream::SmootherConfig& config : configs) {
+        stream::DecisionSmoother smoother(config);
+        for (int i = 0; i < 200; ++i) {
+            const stream::SmoothedDecision decision =
+                smoother.observe(i % 2);  // A,B,A,B,...
+            EXPECT_EQ(decision.stable_label, 0)
+                << "vote_window " << config.vote_window << " hold "
+                << config.hold << " observation " << i;
+            EXPECT_FALSE(decision.changed);
+        }
+        EXPECT_EQ(smoother.changes(), 0u);
+    }
+}
+
+TEST(DecisionSmoother, GenuineChangeReportedWithinTheLatencyBound) {
+    const stream::SmootherConfig configs[] = {
+        {1, 1}, {1, 2}, {3, 2}, {5, 2}, {4, 2}, {7, 3},
+    };
+    for (const stream::SmootherConfig& config : configs) {
+        stream::DecisionSmoother smoother(config);
+        for (int i = 0; i < 20; ++i) {
+            smoother.observe(0);
+        }
+        const std::size_t bound =
+            (config.vote_window + 1) / 2 + config.hold;
+        std::size_t latency = 0;
+        for (std::size_t i = 1; i <= bound + 1; ++i) {
+            if (smoother.observe(1).changed) {
+                latency = i;
+                break;
+            }
+        }
+        ASSERT_GT(latency, 0u)
+            << "vote_window " << config.vote_window << " hold "
+            << config.hold << ": change never reported";
+        EXPECT_LE(latency, bound);
+        EXPECT_EQ(smoother.changes(), 1u);
+        EXPECT_EQ(smoother.stable_label(), 1);
+    }
+}
+
+TEST(DecisionSmoother, IsolatedOutlierWindowsAreAbsorbed) {
+    stream::DecisionSmoother smoother({5, 2});
+    for (int i = 0; i < 5; ++i) {
+        smoother.observe(0);
+    }
+    // A lone misclassified window, then back to normal: never a change,
+    // and the vote itself never leaves the incumbent.
+    EXPECT_EQ(smoother.observe(1).voted_label, 0);
+    for (int i = 0; i < 10; ++i) {
+        const stream::SmoothedDecision decision = smoother.observe(0);
+        EXPECT_EQ(decision.stable_label, 0);
+        EXPECT_FALSE(decision.changed);
+    }
+    EXPECT_EQ(smoother.changes(), 0u);
+}
+
+TEST(DecisionSmoother, EvenVoteWindowTiesKeepTheIncumbent) {
+    stream::DecisionSmoother smoother({4, 2});
+    smoother.observe(0);
+    smoother.observe(0);
+    EXPECT_EQ(smoother.observe(1).voted_label, 0);  // 2-1 for A
+    EXPECT_EQ(smoother.observe(1).voted_label, 0);  // 2-2 tie -> incumbent
+    // Challenger only starts winning the vote now; hold 2 flips one
+    // observation later.
+    const stream::SmoothedDecision fifth = smoother.observe(1);
+    EXPECT_EQ(fifth.voted_label, 1);
+    EXPECT_FALSE(fifth.changed);
+    const stream::SmoothedDecision sixth = smoother.observe(1);
+    EXPECT_TRUE(sixth.changed);
+    EXPECT_EQ(sixth.stable_label, 1);
+    EXPECT_EQ(smoother.changes(), 1u);
+}
+
+TEST(DecisionSmoother, InterruptedChallengeStartsOver) {
+    stream::DecisionSmoother smoother({1, 3});
+    smoother.observe(0);
+    // Two challenge votes, an incumbent vote, then three: only the
+    // uninterrupted run of `hold` flips.
+    smoother.observe(1);
+    smoother.observe(1);
+    EXPECT_EQ(smoother.observe(0).stable_label, 0);
+    smoother.observe(1);
+    smoother.observe(1);
+    EXPECT_EQ(smoother.changes(), 0u);
+    EXPECT_TRUE(smoother.observe(1).changed);
+}
+
+TEST(DecisionSmoother, ResetForgetsEverything) {
+    stream::DecisionSmoother smoother({3, 2});
+    for (int i = 0; i < 10; ++i) {
+        smoother.observe(0);
+    }
+    for (int i = 0; i < 10; ++i) {
+        smoother.observe(1);
+    }
+    EXPECT_EQ(smoother.changes(), 1u);
+
+    smoother.reset();
+    EXPECT_EQ(smoother.stable_label(), -1);
+    EXPECT_EQ(smoother.changes(), 0u);
+    EXPECT_EQ(smoother.observations(), 0u);
+    const stream::SmoothedDecision decision = smoother.observe(2);
+    EXPECT_EQ(decision.stable_label, 2);
+    EXPECT_FALSE(decision.changed);
+}
+
+}  // namespace
+}  // namespace wimi

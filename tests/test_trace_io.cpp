@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -223,6 +224,74 @@ TEST(TraceIo, SkipCorruptDropsOnlyDamagedFrame) {
     EXPECT_EQ(report.frames_skipped, 1u);
     EXPECT_EQ(report.frames_recovered, 5u);
     EXPECT_FALSE(report.clean());
+}
+
+TEST(TraceWriterTest, FrameAtATimeWriteMatchesWholeSeriesWrite) {
+    const auto series = sample_series(9);
+    const auto path = std::filesystem::temp_directory_path() /
+                      "wimi_trace_writer_test.wcsi";
+    {
+        TraceWriter writer(path, series.antenna_count(),
+                           series.subcarrier_count());
+        for (const CsiFrame& frame : series.frames) {
+            writer.append(frame);
+        }
+        EXPECT_EQ(writer.frames_written(), 9u);
+        writer.close();
+    }
+    // Byte-identical to the batch writer, not merely equivalent.
+    std::stringstream batch;
+    write_trace(batch, series);
+    std::ifstream incremental(path, std::ios::binary);
+    std::stringstream on_disk;
+    on_disk << incremental.rdbuf();
+    EXPECT_EQ(on_disk.str(), batch.str());
+    std::filesystem::remove(path);
+}
+
+TEST(TraceWriterTest, FileIsAValidContainerAfterEveryAppend) {
+    const auto series = sample_series(5);
+    const auto path = std::filesystem::temp_directory_path() /
+                      "wimi_trace_writer_growth.wcsi";
+    TraceWriter writer(path, series.antenna_count(),
+                       series.subcarrier_count());
+    for (std::size_t appended = 0; appended <= series.packet_count();
+         ++appended) {
+        // A reader opening the file mid-growth must see exactly the
+        // frames that have fully landed, with a clean report.
+        TraceReadReport report;
+        const CsiSeries back =
+            read_trace_file(path, {ReadPolicy::kStrict}, &report);
+        EXPECT_TRUE(report.clean());
+        ASSERT_EQ(back.packet_count(), appended);
+        if (appended > 0) {
+            EXPECT_DOUBLE_EQ(back.frames[appended - 1].timestamp_s,
+                             series.frames[appended - 1].timestamp_s);
+        }
+        if (appended < series.packet_count()) {
+            writer.append(series.frames[appended]);
+        }
+    }
+    writer.close();
+    std::filesystem::remove(path);
+}
+
+TEST(TraceWriterTest, RejectsBadGeometryAndClosedWriter) {
+    const auto path = std::filesystem::temp_directory_path() /
+                      "wimi_trace_writer_reject.wcsi";
+    EXPECT_THROW(TraceWriter(path, 0, 5), Error);
+    EXPECT_THROW(TraceWriter(path, 2, 0), Error);
+
+    TraceWriter writer(path, 2, 5);
+    EXPECT_THROW(writer.append(CsiFrame(3, 5)), Error);
+    EXPECT_THROW(writer.append(CsiFrame(2, 4)), Error);
+    CsiFrame bad(2, 5);
+    bad.timestamp_s = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(writer.append(bad), Error);
+    writer.close();
+    writer.close();  // idempotent
+    EXPECT_THROW(writer.append(CsiFrame(2, 5)), Error);
+    std::filesystem::remove(path);
 }
 
 TEST(TraceIo, ReportCleanOnPristineTrace) {

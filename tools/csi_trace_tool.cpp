@@ -27,6 +27,14 @@
 //                                          build a wimi.psi_ref.v1 feature
 //                                          reference from the standard
 //                                          experiment (drift baseline)
+//   csi_trace_tool stream <trace> --baseline <trace> [--model m.wmdl]
+//                                          [--window N] [--hop N]
+//                                          [--policy strict|skip|stop]
+//                                          [--follow] [--idle-timeout-ms N]
+//                                          [--max-windows N] [--psi-ref f]
+//                                          windowed streaming identification
+//                                          over the trace (or, with
+//                                          --follow, tail it while it grows)
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
@@ -46,8 +54,10 @@
 #include "core/phase_calibration.hpp"
 #include "core/subcarrier_selection.hpp"
 #include "core/wimi.hpp"
+#include "core/streaming_feature.hpp"
 #include "csi/pdp.hpp"
 #include "csi/quality.hpp"
+#include "csi/summary.hpp"
 #include "csi/trace_io.hpp"
 #include "dsp/circular.hpp"
 #include "dsp/stats.hpp"
@@ -56,8 +66,11 @@
 #include "obs/exporter.hpp"
 #include "obs/obs.hpp"
 #include "obs/run_context.hpp"
+#include "serve/inference.hpp"
 #include "sim/harness.hpp"
 #include "sim/scenario.hpp"
+#include "stream/pipeline.hpp"
+#include "stream/tailer.hpp"
 
 namespace {
 
@@ -85,48 +98,40 @@ bool print_corruption_summary(const csi::TraceReadReport& report) {
 }
 
 int cmd_info(const std::string& path) {
-    csi::TraceReadReport report;
-    const auto series = csi::read_trace_file(
-        path, {csi::ReadPolicy::kSkipCorrupt}, &report);
+    // Streaming summarization: one frame record in memory at a time, so
+    // `info` answers in O(antennas) memory however large the capture is.
+    const csi::TraceSummary summary =
+        csi::summarize_trace_file(path, {csi::ReadPolicy::kSkipCorrupt});
+    const csi::TraceReadReport& report = summary.report;
     std::cout << path << ":\n"
               << "  format:      WCSI v" << report.version
               << (report.version >= csi::kTraceVersion2
                       ? " (little-endian, CRC32 header + frames)"
                       : " (legacy, no checksums)")
               << '\n'
-              << "  packets:     " << series.packet_count() << '\n'
+              << "  packets:     " << summary.packets << '\n'
               << "  antennas:    " << report.antenna_count << '\n'
               << "  subcarriers: " << report.subcarrier_count << '\n';
     print_corruption_summary(report);
-    if (series.empty()) {
+    if (summary.packets == 0) {
         return 0;
     }
     // Span between first and last packet: traces trimmed or merged from
     // longer captures do not start at t=0.
-    const double duration_s = series.frames.back().timestamp_s -
-                              series.frames.front().timestamp_s;
-    std::cout << "  duration:    " << format_double(duration_s, 3)
+    std::cout << "  duration:    " << format_double(summary.duration_s(), 3)
               << " s\n\n";
     TextTable table({"antenna", "mean |H|", "amplitude CV", "mean RSSI"});
-    for (std::size_t a = 0; a < series.antenna_count(); ++a) {
-        dsp::RunningStats amplitude;
-        for (const auto& frame : series.frames) {
-            for (std::size_t k = 0; k < series.subcarrier_count(); ++k) {
-                amplitude.add(frame.amplitude(a, k));
-            }
-        }
-        dsp::RunningStats rssi;
-        for (const auto& frame : series.frames) {
-            rssi.add(frame.rssi_dbm);
-        }
+    for (std::size_t a = 0; a < summary.antennas.size(); ++a) {
+        const csi::AntennaSummary& antenna = summary.antennas[a];
         // An all-zero antenna has mean amplitude 0; CV would be 0/0.
         const std::string cv =
-            amplitude.mean() > 0.0
-                ? format_double(amplitude.stddev() / amplitude.mean(), 3)
+            antenna.amplitude_mean > 0.0
+                ? format_double(
+                      antenna.amplitude_stddev / antenna.amplitude_mean, 3)
                 : "n/a";
         table.add_row({std::to_string(a + 1),
-                       format_double(amplitude.mean(), 4), cv,
-                       format_double(rssi.mean(), 1) + " dB"});
+                       format_double(antenna.amplitude_mean, 4), cv,
+                       format_double(antenna.rssi_mean, 1) + " dB"});
     }
     table.print(std::cout);
     return 0;
@@ -225,6 +230,29 @@ int cmd_generate(const std::string& path, const std::string& env_name) {
     return 0;
 }
 
+/// Reads at most `max_frames` frames (0 = all) through the chunked
+/// TraceReader — the bounded-ingest path for commands that genuinely
+/// need frames in memory but must not inhale a multi-GB capture whole.
+csi::CsiSeries read_trace_file_capped(
+    const std::string& path, std::uint64_t max_frames,
+    const csi::TraceReadOptions& options = {}) {
+    std::ifstream in(path, std::ios::binary);
+    ensure(in.is_open(), "cannot open " + path);
+    csi::TraceReader reader(in, options);
+    csi::CsiSeries series;
+    if (max_frames > 0 && reader.frames_declared() > 0) {
+        series.frames.reserve(static_cast<std::size_t>(
+            std::min<std::uint64_t>(max_frames, reader.frames_declared())));
+    }
+    while (auto frame = reader.next()) {
+        series.frames.push_back(std::move(*frame));
+        if (max_frames > 0 && series.frames.size() >= max_frames) {
+            break;
+        }
+    }
+    return series;
+}
+
 /// Runs every pre-processing stage of the WiMi pipeline over `path` with
 /// observability on, then exports the run's Chrome trace and metrics
 /// report. The trace doubles as baseline and target (first half vs second
@@ -235,8 +263,11 @@ int cmd_pipeline_profile(const std::string& path,
                          const std::string& metrics_out,
                          const std::string& run_out,
                          const std::string& log_out,
-                         const std::string& telemetry_out) {
-    const auto series = csi::read_trace_file(path);
+                         const std::string& telemetry_out,
+                         std::uint64_t max_frames) {
+    // Profiling a capture does not need more than max_frames packets in
+    // memory; the cap keeps a pathological trace from sinking the tool.
+    const auto series = read_trace_file_capped(path, max_frames);
     ensure(series.packet_count() >= 16,
            "pipeline profile: need at least 16 packets");
     ensure(series.antenna_count() >= 2,
@@ -415,6 +446,109 @@ int cmd_psi_ref(const std::string& out_path, const std::string& env_name) {
     return 0;
 }
 
+struct StreamArgs {
+    std::string baseline;
+    std::string model;
+    std::string psi_ref;
+    std::size_t window = 64;
+    std::size_t hop = 16;
+    csi::ReadPolicy policy = csi::ReadPolicy::kStrict;
+    bool follow = false;
+    std::uint32_t idle_timeout_ms = 2000;
+    std::uint64_t max_windows = 0;  ///< 0 = unbounded
+};
+
+/// Windowed streaming identification over a trace — or, with --follow,
+/// over a file that is still growing (TraceTailer). Memory stays
+/// O(window) however long the stream runs.
+int cmd_stream(const std::string& target_path, const StreamArgs& args) {
+    ensure(!args.baseline.empty(), "stream: --baseline is required");
+    const csi::CsiSeries baseline = csi::read_trace_file(args.baseline);
+
+    // With --model classify against a persisted artifact; without one,
+    // train the standard lab experiment in-process (deterministic, and
+    // geometry-compatible with `generate`d traces).
+    const serve::InferenceEngine engine =
+        args.model.empty()
+            ? serve::InferenceEngine(sim::train_experiment_model({}))
+            : serve::InferenceEngine::load(args.model);
+    const serve::TrainedModel& model = engine.model();
+
+    stream::StreamConfig config;
+    config.window = args.window;
+    config.hop = args.hop;
+    std::optional<ml::PsiReference> psi_ref;
+    if (!args.psi_ref.empty()) {
+        psi_ref = ml::load_psi_reference(args.psi_ref);
+    }
+    stream::StreamingPipeline pipeline(
+        config,
+        core::WindowFeatureExtractor(baseline, model.pairs,
+                                     model.subcarriers, model.feature),
+        [&engine](std::span<const double> features) {
+            serve::Prediction p = engine.predict_features(features);
+            return std::make_pair(p.material_id,
+                                  std::move(p.material_name));
+        },
+        std::move(psi_ref));
+
+    const auto emit = [](const stream::WindowResult& r) {
+        std::cout << "window " << r.window_index << "  frames ["
+                  << r.first_frame << ", " << r.first_frame + r.frame_count
+                  << ")  t=" << format_double(r.first_timestamp_s, 2)
+                  << ".." << format_double(r.last_timestamp_s, 2)
+                  << "s  raw=" << r.raw_name << "  stable="
+                  << (r.stable_name.empty() ? std::string("?")
+                                            : r.stable_name);
+        if (r.psi_valid) {
+            std::cout << "  psi=" << format_double(r.psi, 3)
+                      << (r.drift_gated ? " (drift-gated)" : "");
+        }
+        std::cout << '\n';
+        if (r.changed) {
+            std::cout << "material change at window " << r.window_index
+                      << " (t=" << format_double(r.last_timestamp_s, 2)
+                      << "s): now " << r.stable_name << '\n';
+        }
+    };
+
+    std::uint64_t emitted = 0;
+    const auto feed = [&](const csi::CsiFrame& frame) {
+        if (auto result = pipeline.push(frame)) {
+            emit(*result);
+            ++emitted;
+        }
+        return args.max_windows == 0 || emitted < args.max_windows;
+    };
+
+    if (args.follow) {
+        stream::TailerConfig tail;
+        tail.policy = args.policy;
+        tail.idle_timeout_ms = args.idle_timeout_ms;
+        stream::TraceTailer tailer(target_path, tail);
+        while (auto frame = tailer.next()) {
+            if (!feed(*frame)) {
+                break;
+            }
+        }
+    } else {
+        std::ifstream in(target_path, std::ios::binary);
+        ensure(in.is_open(), "cannot open " + target_path);
+        csi::TraceReader reader(in, {args.policy});
+        while (auto frame = reader.next()) {
+            if (!feed(*frame)) {
+                break;
+            }
+        }
+    }
+
+    std::cout << "stream done: " << pipeline.frames_consumed()
+              << " frames, " << pipeline.windows_emitted() << " windows, "
+              << pipeline.changes() << " material changes, "
+              << pipeline.drift_gated_windows() << " drift-gated\n";
+    return 0;
+}
+
 int usage() {
     std::cerr << "usage:\n"
               << "  csi_trace_tool info <trace.wcsi>\n"
@@ -425,8 +559,13 @@ int usage() {
               << "  csi_trace_tool pipeline profile <trace.wcsi>"
               << " [--trace-out out.json] [--metrics-out out.json]"
               << " [--run-out ledger.jsonl] [--log-out log.jsonl]"
-              << " [--telemetry-out telemetry.jsonl]\n"
-              << "  csi_trace_tool psi-ref <out.json> [hall|lab|library]\n";
+              << " [--telemetry-out telemetry.jsonl] [--max-frames n]\n"
+              << "  csi_trace_tool psi-ref <out.json> [hall|lab|library]\n"
+              << "  csi_trace_tool stream <trace.wcsi> --baseline b.wcsi"
+              << " [--model m.wmdl] [--window n] [--hop n]"
+              << " [--policy strict|skip|stop] [--follow]"
+              << " [--idle-timeout-ms n] [--max-windows n]"
+              << " [--psi-ref ref.json]\n";
     return 2;
 }
 
@@ -449,6 +588,7 @@ int main(int argc, char** argv) {
             std::string run_out;
             std::string log_out;
             std::string telemetry_out;
+            std::uint64_t max_frames = 0;
             if ((argc - 4) % 2 != 0) {
                 return usage();  // a flag is missing its value
             }
@@ -464,13 +604,58 @@ int main(int argc, char** argv) {
                     log_out = argv[i + 1];
                 } else if (flag == "--telemetry-out") {
                     telemetry_out = argv[i + 1];
+                } else if (flag == "--max-frames") {
+                    max_frames = std::stoull(argv[i + 1]);
                 } else {
                     return usage();
                 }
             }
             return cmd_pipeline_profile(trace_path, trace_out,
                                         metrics_out, run_out, log_out,
-                                        telemetry_out);
+                                        telemetry_out, max_frames);
+        }
+        if (command == "stream") {
+            StreamArgs args;
+            for (int i = 3; i < argc; ++i) {
+                const std::string_view flag = argv[i];
+                if (flag == "--follow") {
+                    args.follow = true;
+                    continue;
+                }
+                if (i + 1 >= argc) {
+                    return usage();  // every other flag takes a value
+                }
+                const std::string value = argv[++i];
+                if (flag == "--baseline") {
+                    args.baseline = value;
+                } else if (flag == "--model") {
+                    args.model = value;
+                } else if (flag == "--psi-ref") {
+                    args.psi_ref = value;
+                } else if (flag == "--window") {
+                    args.window = std::stoul(value);
+                } else if (flag == "--hop") {
+                    args.hop = std::stoul(value);
+                } else if (flag == "--idle-timeout-ms") {
+                    args.idle_timeout_ms =
+                        static_cast<std::uint32_t>(std::stoul(value));
+                } else if (flag == "--max-windows") {
+                    args.max_windows = std::stoull(value);
+                } else if (flag == "--policy") {
+                    if (value == "strict") {
+                        args.policy = csi::ReadPolicy::kStrict;
+                    } else if (value == "skip") {
+                        args.policy = csi::ReadPolicy::kSkipCorrupt;
+                    } else if (value == "stop") {
+                        args.policy = csi::ReadPolicy::kStopAtCorruption;
+                    } else {
+                        return usage();
+                    }
+                } else {
+                    return usage();
+                }
+            }
+            return cmd_stream(path, args);
         }
         if (command == "psi-ref") {
             return cmd_psi_ref(path, argc > 3 ? argv[3] : "lab");
